@@ -1,0 +1,126 @@
+//! Ablation studies of the design choices called out in DESIGN.md and the
+//! paper's §7 future-work list — not figures from the paper, but the
+//! experiments a reviewer would ask for next:
+//!
+//! 1. **Fixed CPU fraction for updates** (paper §7): sweep the reserved
+//!    fraction and compare against the four paper policies.
+//! 2. **Hash-indexed update queue** (paper §4.2/§4.4): OD under heavy scan
+//!    costs, with and without the index.
+//! 3. **Transaction preemption**: value-density preemption on/off.
+//! 4. **Feasible-deadline scheduling**: on/off (how much of the AV gain
+//!    under overload comes from shedding hopeless transactions early).
+
+use strip_core::config::{Policy, SimConfig};
+use strip_experiments::sweep::default_duration;
+use strip_workload::run_paper_sim;
+
+fn run(mutate: impl FnOnce(&mut SimConfig)) -> strip_core::report::RunReport {
+    let mut cfg = SimConfig::builder()
+        .lambda_t(15.0)
+        .duration(default_duration())
+        .build()
+        .expect("ablation config");
+    mutate(&mut cfg);
+    run_paper_sim(&cfg)
+}
+
+fn main() {
+    println!("# ablations — {} simulated seconds per point, lambda_t = 15\n", default_duration());
+
+    println!("== fixed CPU fraction for updates (paper §7 future work) ==");
+    println!("{:<22}{:>10}{:>10}{:>10}{:>10}", "policy", "AV", "psucc", "pMD", "fold_h");
+    for policy in Policy::PAPER_SET {
+        let r = run(|c| c.policy = policy);
+        println!(
+            "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
+            policy.label(), r.av(), r.txns.p_success(), r.txns.p_md(), r.fold_high
+        );
+    }
+    for frac in [0.05, 0.1, 0.19, 0.3, 0.5] {
+        let r = run(|c| c.policy = Policy::FixedFraction { fraction: frac });
+        println!(
+            "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
+            format!("FX(fraction={frac})"), r.av(), r.txns.p_success(), r.txns.p_md(), r.fold_high
+        );
+    }
+
+    println!("\n== hash-indexed update queue under heavy scan cost (OD) ==");
+    println!("{:<28}{:>10}{:>12}{:>12}", "variant", "AV", "psucc", "max queue");
+    for (label, x_scan, indexed) in [
+        ("baseline", 0.0, false),
+        ("x_scan=10k, plain", 10_000.0, false),
+        ("x_scan=10k, indexed", 10_000.0, true),
+    ] {
+        let r = run(|c| {
+            c.policy = Policy::OnDemand;
+            c.costs.x_scan = x_scan;
+            c.indexed_queue = indexed;
+        });
+        println!(
+            "{:<28}{:>10.2}{:>12.3}{:>12}",
+            label, r.av(), r.txns.p_success(), r.updates.max_uq_len
+        );
+    }
+
+    // The paper's §4.2 open question: does splitting TF's update queue by
+    // importance (installing high first) recover SU's high-partition
+    // freshness without SU's arrival preemptions?
+    println!("\n== split update queue (paper §4.2 'future study') ==");
+    println!("{:<22}{:>10}{:>10}{:>10}{:>10}", "variant", "AV", "psucc", "fold_l", "fold_h");
+    for (label, policy, split) in [
+        ("TF", Policy::TransactionsFirst, false),
+        ("TF + split queue", Policy::TransactionsFirst, true),
+        ("OD", Policy::OnDemand, false),
+        ("OD + split queue", Policy::OnDemand, true),
+        ("SU", Policy::SplitUpdates, false),
+    ] {
+        let r = run(|c| {
+            c.policy = policy;
+            c.split_update_queue = split;
+        });
+        println!(
+            "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
+            label, r.av(), r.txns.p_success(), r.fold_low, r.fold_high
+        );
+    }
+    // At the balanced baseline TF has almost no install capacity to
+    // allocate, so splitting barely moves fold_h. The interesting regime is
+    // a skewed stream whose high-importance share fits inside TF's residual
+    // capacity when prioritised:
+    println!("-- skewed stream: p_ul = 0.8, N_h = 200, λt = 10 --");
+    for (label, split) in [("TF", false), ("TF + split queue", true)] {
+        let r = run(|c| {
+            c.policy = Policy::TransactionsFirst;
+            c.lambda_t = 10.0;
+            c.p_update_low = 0.8;
+            c.n_high = 200;
+            c.split_update_queue = split;
+        });
+        println!(
+            "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
+            label, r.av(), r.txns.p_success(), r.fold_low, r.fold_high
+        );
+    }
+
+    println!("\n== transaction preemption (value-density, extension) ==");
+    for (label, preempt) in [("no preemption (paper)", false), ("preemption on", true)] {
+        let r = run(|c| {
+            c.policy = Policy::TransactionsFirst;
+            c.txn_preemption = preempt;
+        });
+        println!("{label:<28} AV {:>7.2}  pMD {:.3}  mean response {:.3}s",
+            r.av(), r.txns.p_md(), r.txns.response_mean);
+    }
+
+    println!("\n== feasible-deadline scheduling ==");
+    for (label, feasible) in [("feasible_dl = true (paper)", true), ("feasible_dl = false", false)] {
+        let r = run(|c| {
+            c.policy = Policy::OnDemand;
+            c.feasible_deadline = feasible;
+        });
+        println!(
+            "{label:<28} AV {:>7.2}  committed {:>6}  infeasible-aborts {:>6}  watchdog-aborts {:>6}",
+            r.av(), r.txns.committed, r.txns.aborted_infeasible, r.txns.missed_deadline
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Extension experiments on the paper's §7 service list: historical views,
+//! update-triggered rules, and a disk-resident buffer pool. Each sweep asks
+//! the operational question a deployer of STRIP would ask.
+
+use strip_core::config::{HistoryAccess, IoModel, Policy, SimConfig, TriggerConfig};
+use strip_db::history::HistoryPolicy;
+use strip_experiments::sweep::default_duration;
+use strip_workload::run_paper_sim;
+
+fn base(policy: Policy) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .lambda_t(10.0)
+        .duration(default_duration())
+        .build()
+        .expect("base config")
+}
+
+fn main() {
+    println!(
+        "# service extensions — {} simulated seconds per point\n",
+        default_duration()
+    );
+
+    // ---- historical views: retention vs as-of miss rate and memory ---------
+    println!("== historical views (OD, 20% as-of reads, lag U[0,30]s) ==");
+    println!(
+        "{:>12}{:>14}{:>14}{:>14}{:>12}",
+        "retention_s", "as-of reads", "miss frac", "entries", "AV"
+    );
+    for retention in [5.0, 15.0, 30.0, 60.0] {
+        let mut cfg = base(Policy::OnDemand);
+        cfg.history = Some(HistoryAccess {
+            policy: HistoryPolicy {
+                retention_secs: retention,
+                max_entries_per_object: 1024,
+            },
+            p_historical_read: 0.2,
+            lag_min: 0.0,
+            lag_max: 30.0,
+        });
+        let r = run_paper_sim(&cfg);
+        println!(
+            "{:>12}{:>14}{:>14.3}{:>14}{:>12.2}",
+            retention,
+            r.history.historical_reads,
+            r.history.miss_fraction(),
+            r.history.entries_at_end,
+            r.av(),
+        );
+    }
+
+    // ---- triggers: rule load vs transaction timeliness ---------------------
+    // Rules are update-side work, so they inherit each policy's pathology:
+    // under TF at load they starve (derived data goes permanently stale,
+    // almost every firing coalesces onto an already-pending rule); under UF
+    // they execute promptly but eat transaction time.
+    println!("\n== update-triggered rules (4 sources/rule, 10k instr/exec) ==");
+    println!(
+        "{:<6}{:>9}{:>10}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "", "n_rules", "fired", "executed", "coalesced", "lag_mean", "pMD", "AV"
+    );
+    for policy in [Policy::TransactionsFirst, Policy::UpdatesFirst, Policy::OnDemand] {
+        for n_rules in [0u32, 1_000] {
+            let mut cfg = base(policy);
+            if n_rules > 0 {
+                cfg.triggers = Some(TriggerConfig {
+                    n_rules,
+                    sources_per_rule: 4,
+                    exec_instr: 10_000.0,
+                    max_pending: 10_000,
+                });
+            }
+            let r = run_paper_sim(&cfg);
+            println!(
+                "{:<6}{:>9}{:>10}{:>12}{:>12}{:>12.3}{:>12.3}{:>10.2}",
+                policy.label(),
+                n_rules,
+                r.triggers.fired,
+                r.triggers.executed,
+                r.triggers.coalesced,
+                r.triggers.lag_mean,
+                r.txns.p_md(),
+                r.av(),
+            );
+        }
+    }
+
+    // ---- disk residency: hit ratio vs everything ---------------------------
+    println!("\n== disk-resident buffer pool (x_io = 100k instr ≈ 2 ms) ==");
+    println!(
+        "{:<6}{:>10}{:>12}{:>12}{:>12}{:>12}",
+        "", "hit", "pMD", "AV", "psucc", "io misses"
+    );
+    for policy in [Policy::UpdatesFirst, Policy::OnDemand] {
+        for hit in [1.0, 0.95, 0.9, 0.8] {
+            let mut cfg = base(policy);
+            if hit < 1.0 {
+                cfg.io = Some(IoModel {
+                    hit_ratio: hit,
+                    x_io: 100_000.0,
+                });
+            }
+            let r = run_paper_sim(&cfg);
+            println!(
+                "{:<6}{:>10.2}{:>12.3}{:>12.2}{:>12.3}{:>12}",
+                policy.label(),
+                hit,
+                r.txns.p_md(),
+                r.av(),
+                r.txns.p_success(),
+                r.cpu.io_misses_reads + r.cpu.io_misses_installs,
+            );
+        }
+    }
+}

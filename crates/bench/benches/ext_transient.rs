@@ -1,0 +1,73 @@
+//! Transient overload (extension). The paper's §6 motivates studying beyond
+//! the full-load limit: "occasionally the system will be overloaded. It is
+//! precisely at those times when we need a good scheduler." The steady-state
+//! figures answer *who wins during* overload; this experiment answers the
+//! dynamic question: **how fast does each scheduler's data freshness recover
+//! after the overload ends?**
+//!
+//! A 3× transaction burst hits a baseline-load system for 100 s; per-window
+//! psuccess is reported before, during and after. The tail matters: TF-family
+//! schedulers leave a backlog of stale data that persists long after the
+//! burst, while UF's freshness snaps back instantly.
+
+use strip_core::config::{BurstSpec, Policy, SimConfig};
+use strip_experiments::sweep::default_duration;
+use strip_workload::run_paper_sim;
+
+fn main() {
+    let total = default_duration().max(400.0);
+    let burst = BurstSpec {
+        from: total * 0.3,
+        until: total * 0.3 + 100.0,
+        factor: 4.0,
+    };
+    println!(
+        "# transient overload — λt 6 → 24 during [{:.0}s, {:.0}s), total {total:.0}s",
+        burst.from, burst.until
+    );
+    println!("# per-window psuccess (20 s windows)\n");
+
+    let mut tables: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for policy in Policy::PAPER_SET {
+        let cfg = SimConfig::builder()
+            .policy(policy)
+            .lambda_t(6.0)
+            .lambda_t_burst(Some(burst))
+            .timeline_window(Some(20.0))
+            .duration(total)
+            .build()
+            .expect("transient config");
+        let r = run_paper_sim(&cfg);
+        let series = r
+            .timeline
+            .iter()
+            .map(|w| (w.t_start, w.p_success()))
+            .collect();
+        tables.push((r.policy.clone(), series));
+    }
+
+    print!("{:>8}", "t_start");
+    for (label, _) in &tables {
+        print!("{label:>10}");
+    }
+    println!();
+    let rows = tables.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let t = tables[0].1.get(i).map_or(0.0, |(t, _)| *t);
+        let marker = if t >= burst.from && t < burst.until {
+            "*"
+        } else {
+            " "
+        };
+        print!("{t:>7.0}{marker}");
+        for (_, series) in &tables {
+            match series.get(i) {
+                Some((_, p)) => print!("{p:>10.3}"),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\n(* = burst window. Watch the post-burst rows: UF/SU recover at once,");
+    println!(" TF/OD climb back only as the update backlog drains or expires.)");
+}

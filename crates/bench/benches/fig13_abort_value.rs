@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 13 (see strip-experiments for the
+//! sweep definition). Plain-harness bench target: prints the series.
+
+fn main() {
+    strip_bench::run_figure_bench(strip_experiments::FigureId::Fig13);
+}

@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks of whole-simulation throughput: how many
+//! simulated seconds per wall second each policy achieves at the paper's
+//! baseline load. This is the cost of a data point in the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strip_core::config::{Policy, SimConfig};
+use strip_workload::run_paper_sim;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10s_baseline");
+    group.sample_size(10);
+    for policy in Policy::PAPER_SET {
+        group.bench_function(policy.label(), |b| {
+            let cfg = SimConfig::builder()
+                .policy(policy)
+                .duration(10.0)
+                .seed(1)
+                .build()
+                .unwrap();
+            b.iter(|| black_box(run_paper_sim(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_overload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10s_overload");
+    group.sample_size(10);
+    for policy in [Policy::TransactionsFirst, Policy::OnDemand] {
+        group.bench_function(policy.label(), |b| {
+            let cfg = SimConfig::builder()
+                .policy(policy)
+                .lambda_t(25.0)
+                .duration(10.0)
+                .seed(1)
+                .build()
+                .unwrap();
+            b.iter(|| black_box(run_paper_sim(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_overload);
+criterion_main!(benches);

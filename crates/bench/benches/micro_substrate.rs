@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of the substrate data structures: the event
+//! calendar, the generation-ordered update queue, the RNG, and the
+//! staleness tracker. These are the hot paths of the simulator itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use strip_db::object::{Importance, ViewObjectId};
+use strip_db::staleness::{StalenessSpec, StalenessTracker};
+use strip_db::update::Update;
+use strip_db::update_queue::UpdateQueue;
+use strip_sim::event::EventQueue;
+use strip_sim::rng::Xoshiro256pp;
+use strip_sim::time::SimTime;
+
+fn upd(seq: u64, idx: u32, gen: f64) -> Update {
+    Update {
+        seq,
+        object: ViewObjectId::new(Importance::Low, idx),
+        generation_ts: SimTime::from_secs(gen),
+        arrival_ts: SimTime::from_secs(gen + 0.1),
+        payload: 0.0,
+        attr_mask: Update::COMPLETE,
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter_batched(
+            || {
+                (0..1000)
+                    .map(|_| SimTime::from_secs(rng.next_f64() * 1000.0))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::with_capacity(1024);
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(*t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_update_queue(c: &mut Criterion) {
+    c.bench_function("update_queue/insert_pop_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        b.iter_batched(
+            || {
+                (0..1000u64)
+                    .map(|i| upd(i, (rng.next_below(500)) as u32, rng.next_f64() * 100.0))
+                    .collect::<Vec<_>>()
+            },
+            |updates| {
+                let mut q = UpdateQueue::new(5_600, false);
+                for u in updates {
+                    q.insert(u);
+                }
+                let mut n = 0;
+                while q.pop_oldest().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("update_queue/newest_for_hit", |b| {
+        let mut q = UpdateQueue::new(5_600, false);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for i in 0..2_000u64 {
+            q.insert(upd(i, (rng.next_below(500)) as u32, rng.next_f64() * 100.0));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 500;
+            black_box(q.newest_for(ViewObjectId::new(Importance::Low, i)))
+        });
+    });
+    c.bench_function("update_queue/indexed_insert_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        b.iter_batched(
+            || {
+                (0..1000u64)
+                    .map(|i| upd(i, (rng.next_below(100)) as u32, i as f64 * 0.01))
+                    .collect::<Vec<_>>()
+            },
+            |updates| {
+                let mut q = UpdateQueue::new(5_600, true);
+                for u in updates {
+                    q.insert(u);
+                }
+                black_box(q.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_f64", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        b.iter(|| black_box(rng.next_f64()));
+    });
+    c.bench_function("rng/next_below", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        b.iter(|| black_box(rng.next_below(500)));
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    c.bench_function("staleness/uu_receive_install", |b| {
+        let mut tracker = StalenessTracker::new(
+            StalenessSpec::UnappliedUpdate,
+            500,
+            500,
+            SimTime::ZERO,
+            |_| SimTime::ZERO,
+        );
+        let mut t = 0.0f64;
+        let mut i = 0u32;
+        b.iter(|| {
+            t += 0.001;
+            i = (i + 1) % 500;
+            let id = ViewObjectId::new(Importance::Low, i);
+            tracker.on_receive(id, SimTime::from_secs(t - 0.1), SimTime::from_secs(t));
+            tracker.on_install(id, SimTime::from_secs(t - 0.1), 1, SimTime::from_secs(t));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_update_queue,
+    bench_rng,
+    bench_tracker
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Prints the paper's parameter tables (Tables 1–3) as encoded in
+//! `SimConfig::default()`, for verification against the paper.
+
+fn main() {
+    println!("{}", strip_experiments::render_parameter_tables());
+}

@@ -1,0 +1,35 @@
+//! `strip-bench` — benchmark targets for the reproduction.
+//!
+//! Two kinds of targets live under `benches/`:
+//!
+//! * `figNN_*` / `table_params` — plain-harness targets (one per paper
+//!   figure/table) that regenerate the corresponding experiment and print
+//!   the series the paper plots. Run e.g. `cargo bench -p strip-bench
+//!   --bench fig06_success`. Control fidelity with `REPRO_SECONDS`
+//!   (default: the paper's 1000 simulated seconds per point).
+//! * `micro_*` — criterion microbenchmarks of the substrate (event queue,
+//!   update queue, RNG, whole-simulator throughput).
+//!
+//! This library crate only hosts shared helpers for those targets.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use strip_experiments::{Campaign, FigureId, RunSettings};
+
+/// Runs one figure end-to-end and prints its panels; used by the
+/// plain-harness bench targets.
+pub fn run_figure_bench(id: FigureId) {
+    let settings = RunSettings::default();
+    println!(
+        "# {} — {} simulated seconds per point (REPRO_SECONDS to override)",
+        id.name(),
+        settings.duration
+    );
+    let started = std::time::Instant::now();
+    let mut campaign = Campaign::new(settings);
+    for fig in campaign.figure(id) {
+        println!("{}", fig.render_ascii());
+    }
+    println!("# wall time: {:.1?}", started.elapsed());
+}

@@ -1,0 +1,408 @@
+//! Results of one simulation run.
+//!
+//! [`RunReport`] carries every raw counter plus the paper's derived metrics
+//! (§3.5): missed-deadline fraction `pMD`, `psuccess`, `psuc|nontardy`,
+//! average value per second `AV`, CPU-time split `ρt`/`ρu`, and the
+//! time-weighted stale fractions `fold_l`/`fold_h`.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-value-class transaction outcomes (Low = index 0, High = index 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Arrivals of this class.
+    pub arrived: u64,
+    /// On-time commits of this class.
+    pub committed: u64,
+    /// On-time fresh commits of this class.
+    pub committed_fresh: u64,
+}
+
+/// Transaction accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TxnCounts {
+    /// Transactions that arrived inside the measurement window.
+    pub arrived: u64,
+    /// Committed at or before their deadline.
+    pub committed: u64,
+    /// Committed on time having read only fresh data.
+    pub committed_fresh: u64,
+    /// Aborted by the firm-deadline watchdog (reached the deadline while
+    /// queued or running).
+    pub missed_deadline: u64,
+    /// Aborted early by the feasible-deadline policy (could no longer make
+    /// the deadline).
+    pub aborted_infeasible: u64,
+    /// Aborted because a view read observed stale data (abort-on-stale
+    /// mode).
+    pub aborted_stale: u64,
+    /// Still queued or running when the simulation horizon was reached.
+    pub in_flight_at_end: u64,
+    /// Total value of on-time commits.
+    pub value_committed: f64,
+    /// View reads that observed stale data (metric criterion).
+    pub stale_reads: u64,
+    /// Total view reads performed.
+    pub view_reads: u64,
+    /// Mean response time (commit − arrival) over committed transactions.
+    pub response_mean: f64,
+    /// Std. dev. of response time over committed transactions.
+    pub response_sd: f64,
+    /// Per-value-class breakdown (`[low, high]`).
+    pub by_class: [ClassCounts; 2],
+}
+
+impl TxnCounts {
+    /// Transactions with a decided outcome (everything except in-flight).
+    #[must_use]
+    pub fn finished(&self) -> u64 {
+        self.committed + self.missed_deadline + self.aborted_infeasible + self.aborted_stale
+    }
+
+    /// `pMD` — fraction of transactions that did not complete by their
+    /// deadline (all abort categories count as not completing).
+    #[must_use]
+    pub fn p_md(&self) -> f64 {
+        let f = self.finished();
+        if f == 0 {
+            return 0.0;
+        }
+        1.0 - self.committed as f64 / f as f64
+    }
+
+    /// `psuccess` — fraction of transactions that committed on time *and*
+    /// read only fresh data.
+    #[must_use]
+    pub fn p_success(&self) -> f64 {
+        let f = self.finished();
+        if f == 0 {
+            return 0.0;
+        }
+        self.committed_fresh as f64 / f as f64
+    }
+
+    /// `psuc|nontardy` — of the transactions that met their deadline, the
+    /// fraction that also read only fresh data.
+    #[must_use]
+    pub fn p_suc_nontardy(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.committed_fresh as f64 / self.committed as f64
+    }
+
+    /// Fraction of view reads that observed stale data.
+    #[must_use]
+    pub fn stale_read_fraction(&self) -> f64 {
+        if self.view_reads == 0 {
+            return 0.0;
+        }
+        self.stale_reads as f64 / self.view_reads as f64
+    }
+}
+
+/// Update-stream accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdateCounts {
+    /// Updates that arrived inside the measurement window.
+    pub arrived: u64,
+    /// Arrivals discarded because the OS queue was full.
+    pub os_dropped: u64,
+    /// Updates placed into the application-level update queue.
+    pub enqueued: u64,
+    /// Updates installed from the update queue by the background update
+    /// process (or straight off the OS queue under UF).
+    pub installed_background: u64,
+    /// Updates installed on arrival (UF always; SU for high importance).
+    pub installed_immediate: u64,
+    /// Updates installed on demand while a transaction waited (OD).
+    pub installed_on_demand: u64,
+    /// Updates skipped after lookup because the store already held a value
+    /// at least as recent.
+    pub superseded_skips: u64,
+    /// Queued updates discarded as MA-expired.
+    pub expired_dropped: u64,
+    /// Queued updates discarded by the `UQ_max` overflow policy.
+    pub overflow_dropped: u64,
+    /// Queued updates removed as superseded by the hash-index extension.
+    pub dedup_dropped: u64,
+    /// Largest update-queue length observed.
+    pub max_uq_len: u64,
+    /// Largest OS-queue length observed.
+    pub max_os_len: u64,
+    /// Updates still waiting in the OS queue at the horizon.
+    pub left_in_os: u64,
+    /// Updates still waiting in the update queue at the horizon.
+    pub left_in_update_queue: u64,
+    /// Updates on the CPU (being installed, or taken for an on-demand
+    /// apply) when the horizon was reached.
+    pub in_flight_at_end: u64,
+}
+
+impl UpdateCounts {
+    /// All installs, regardless of path.
+    #[must_use]
+    pub fn installed_total(&self) -> u64 {
+        self.installed_background + self.installed_immediate + self.installed_on_demand
+    }
+
+    /// Every arrived update ends in exactly one terminal bucket; with no
+    /// warm-up window this sums back to `arrived` (see the conservation
+    /// integration tests).
+    #[must_use]
+    pub fn terminal_total(&self) -> u64 {
+        self.installed_total()
+            + self.superseded_skips
+            + self.expired_dropped
+            + self.overflow_dropped
+            + self.dedup_dropped
+            + self.os_dropped
+            + self.left_in_os
+            + self.left_in_update_queue
+            + self.in_flight_at_end
+    }
+}
+
+/// Historical-view accounting (zeros when the extension is disabled).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistoryStats {
+    /// View reads served as-of a past instant.
+    pub historical_reads: u64,
+    /// As-of reads whose instant predated the retained window.
+    pub misses: u64,
+    /// Versions appended to the chains.
+    pub appends: u64,
+    /// Versions pruned by retention or the per-object cap.
+    pub pruned: u64,
+    /// Versions retained at the horizon.
+    pub entries_at_end: u64,
+}
+
+impl HistoryStats {
+    /// Fraction of historical reads that missed the retained window.
+    #[must_use]
+    pub fn miss_fraction(&self) -> f64 {
+        if self.historical_reads == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / self.historical_reads as f64
+    }
+}
+
+/// Update-triggered rule accounting (zeros when the extension is disabled).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TriggerStats {
+    /// Rule firings caused by installs.
+    pub fired: u64,
+    /// Firings coalesced because the rule was already pending.
+    pub coalesced: u64,
+    /// Firings dropped by the pending-queue bound.
+    pub dropped: u64,
+    /// Rule executions completed.
+    pub executed: u64,
+    /// Pending executions at the horizon (including one on the CPU).
+    pub pending_at_end: u64,
+    /// Mean delay from firing to execution completion, seconds.
+    pub lag_mean: f64,
+    /// Largest pending-queue length observed.
+    pub max_pending: u64,
+}
+
+/// CPU-time accounting over the measurement window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Seconds spent on transaction work (ρt numerator).
+    pub busy_txn: f64,
+    /// Seconds spent on update work — receiving, queueing, scanning,
+    /// installing (ρu numerator).
+    pub busy_update: f64,
+    /// Length of the measurement window in seconds.
+    pub measured_secs: f64,
+    /// Discrete events processed by the engine (diagnostic).
+    pub events_processed: u64,
+    /// Buffer-pool misses charged to view reads (disk extension).
+    pub io_misses_reads: u64,
+    /// Buffer-pool misses charged to installs (disk extension).
+    pub io_misses_installs: u64,
+}
+
+impl CpuStats {
+    /// `ρt` — fraction of CPU time spent on transactions.
+    #[must_use]
+    pub fn rho_t(&self) -> f64 {
+        if self.measured_secs <= 0.0 {
+            return 0.0;
+        }
+        self.busy_txn / self.measured_secs
+    }
+
+    /// `ρu` — fraction of CPU time spent on updates.
+    #[must_use]
+    pub fn rho_u(&self) -> f64 {
+        if self.measured_secs <= 0.0 {
+            return 0.0;
+        }
+        self.busy_update / self.measured_secs
+    }
+
+    /// Total utilisation `ρt + ρu`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.rho_t() + self.rho_u()
+    }
+}
+
+/// One timeline window of transaction outcomes (extension; populated when
+/// `timeline_window` is configured).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelineWindow {
+    /// Window start, seconds.
+    pub t_start: f64,
+    /// Transactions that finished (any outcome) in this window.
+    pub finished: u64,
+    /// Commits in this window.
+    pub committed: u64,
+    /// Fresh commits in this window.
+    pub committed_fresh: u64,
+}
+
+impl TimelineWindow {
+    /// Per-window `psuccess` (0 when the window saw no outcomes).
+    #[must_use]
+    pub fn p_success(&self) -> f64 {
+        if self.finished == 0 {
+            return 0.0;
+        }
+        self.committed_fresh as f64 / self.finished as f64
+    }
+
+    /// Per-window missed-deadline fraction.
+    #[must_use]
+    pub fn p_md(&self) -> f64 {
+        if self.finished == 0 {
+            return 0.0;
+        }
+        1.0 - self.committed as f64 / self.finished as f64
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy label ("UF", "TF", "SU", "OD", "FX").
+    pub policy: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Configured duration (seconds).
+    pub duration: f64,
+    /// Configured warm-up prefix excluded from metrics (seconds).
+    pub warmup: f64,
+    /// Transaction accounting.
+    pub txns: TxnCounts,
+    /// Update accounting.
+    pub updates: UpdateCounts,
+    /// CPU accounting.
+    pub cpu: CpuStats,
+    /// `fold_l` — time-weighted stale fraction, low-importance partition.
+    pub fold_low: f64,
+    /// `fold_h` — time-weighted stale fraction, high-importance partition.
+    pub fold_high: f64,
+    /// Historical-view accounting (extension).
+    pub history: HistoryStats,
+    /// Update-triggered rule accounting (extension).
+    pub triggers: TriggerStats,
+    /// Per-window outcomes (extension; empty unless `timeline_window` set).
+    pub timeline: Vec<TimelineWindow>,
+}
+
+impl RunReport {
+    /// `AV` — average value per second returned by on-time commits.
+    #[must_use]
+    pub fn av(&self) -> f64 {
+        if self.cpu.measured_secs <= 0.0 {
+            return 0.0;
+        }
+        self.txns.value_committed / self.cpu.measured_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_txn_metrics() {
+        let t = TxnCounts {
+            arrived: 12,
+            committed: 8,
+            committed_fresh: 6,
+            missed_deadline: 1,
+            aborted_infeasible: 1,
+            aborted_stale: 0,
+            in_flight_at_end: 2,
+            value_committed: 16.0,
+            stale_reads: 4,
+            view_reads: 20,
+            ..TxnCounts::default()
+        };
+        assert_eq!(t.finished(), 10);
+        assert!((t.p_md() - 0.2).abs() < 1e-12);
+        assert!((t.p_success() - 0.6).abs() < 1e-12);
+        assert!((t.p_suc_nontardy() - 0.75).abs() < 1e-12);
+        assert!((t.stale_read_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_do_not_divide_by_zero() {
+        let t = TxnCounts::default();
+        assert_eq!(t.p_md(), 0.0);
+        assert_eq!(t.p_success(), 0.0);
+        assert_eq!(t.p_suc_nontardy(), 0.0);
+        assert_eq!(t.stale_read_fraction(), 0.0);
+        let c = CpuStats::default();
+        assert_eq!(c.rho_t(), 0.0);
+        assert_eq!(c.utilization(), 0.0);
+        let r = RunReport::default();
+        assert_eq!(r.av(), 0.0);
+    }
+
+    #[test]
+    fn cpu_fractions() {
+        let c = CpuStats {
+            busy_txn: 30.0,
+            busy_update: 20.0,
+            measured_secs: 100.0,
+            ..CpuStats::default()
+        };
+        assert!((c.rho_t() - 0.3).abs() < 1e-12);
+        assert!((c.rho_u() - 0.2).abs() < 1e-12);
+        assert!((c.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn av_is_value_per_second() {
+        let r = RunReport {
+            txns: TxnCounts {
+                value_committed: 150.0,
+                ..TxnCounts::default()
+            },
+            cpu: CpuStats {
+                measured_secs: 10.0,
+                ..CpuStats::default()
+            },
+            ..RunReport::default()
+        };
+        assert!((r.av() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_totals() {
+        let u = UpdateCounts {
+            installed_background: 3,
+            installed_immediate: 4,
+            installed_on_demand: 5,
+            ..UpdateCounts::default()
+        };
+        assert_eq!(u.installed_total(), 12);
+    }
+}

@@ -1,0 +1,162 @@
+//! `repro` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! repro all                          # every experiment
+//! repro fig06 fig14                  # a subset
+//! repro tables                       # print Tables 1–3
+//! repro all --seconds 200 --seed 7   # faster sweep, different seed
+//! repro all --out target/repro       # also export CSV + text
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use strip_experiments::{export_figure, render_parameter_tables, Campaign, FigureId, RunSettings};
+
+struct Args {
+    figures: Vec<FigureId>,
+    settings: RunSettings,
+    out_dir: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = FigureId::ALL.iter().map(|f| f.name()).collect();
+    format!(
+        "usage: repro <all|{}> [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR]\n\
+         \n\
+         Regenerates the evaluation of 'Applying Update Streams in a Soft\n\
+         Real-Time Database System' (SIGMOD 1995). Default run length is the\n\
+         paper's 1000 simulated seconds per data point (override with\n\
+         --seconds or the REPRO_SECONDS environment variable).",
+        names.join("|")
+    )
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut figures = Vec::new();
+    let mut settings = RunSettings::default();
+    let mut out_dir = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "all" => figures.extend(FigureId::ALL),
+            "--seconds" => {
+                let v = it.next().ok_or("--seconds needs a value")?;
+                settings.duration = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --seconds: {e}"))?;
+                if settings.duration <= 0.0 {
+                    return Err("--seconds must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                settings.seed = v.parse::<u64>().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                settings.threads = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--replicas" => {
+                let v = it.next().ok_or("--replicas needs a value")?;
+                settings.replicas = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --replicas: {e}"))?
+                    .max(1);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(usage()),
+            name => figures.push(name.parse::<FigureId>().map_err(|e| format!("{e}\n\n{}", usage()))?),
+        }
+    }
+    if figures.is_empty() {
+        return Err(usage());
+    }
+    figures.dedup();
+    Ok(Args {
+        figures,
+        settings,
+        out_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# repro: {} experiment(s), {} simulated seconds per point, seed {}",
+        args.figures.len(),
+        args.settings.duration,
+        args.settings.seed
+    );
+    let mut campaign = Campaign::new(args.settings);
+    for id in &args.figures {
+        let started = std::time::Instant::now();
+        if *id == FigureId::Tables {
+            println!("{}", render_parameter_tables());
+            continue;
+        }
+        let panels = campaign.figure(*id);
+        for fig in &panels {
+            println!("{}", fig.render_ascii());
+            if let Some(dir) = &args.out_dir {
+                if let Err(e) = export_figure(dir, fig) {
+                    eprintln!("warning: could not export {}: {e}", fig.id);
+                }
+            }
+        }
+        println!("# {} done in {:.1?}\n", id.name(), started.elapsed());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_figure_lists_and_flags() {
+        let a = parse(&["fig06", "fig14", "--seconds", "50", "--seed", "9", "--replicas", "3"])
+            .unwrap();
+        assert_eq!(a.figures.len(), 2);
+        assert_eq!(a.settings.duration, 50.0);
+        assert_eq!(a.settings.seed, 9);
+        assert_eq!(a.settings.replicas, 3);
+        assert!(a.out_dir.is_none());
+    }
+
+    #[test]
+    fn all_expands_to_every_experiment() {
+        let a = parse(&["all"]).unwrap();
+        assert_eq!(a.figures.len(), FigureId::ALL.len());
+    }
+
+    #[test]
+    fn rejects_unknown_figures_and_bad_flags() {
+        assert!(parse(&["fig99"]).is_err());
+        assert!(parse(&["fig06", "--seconds", "-3"]).is_err());
+        assert!(parse(&["fig06", "--seconds"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn out_dir_is_captured() {
+        let a = parse(&["tables", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(a.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+}

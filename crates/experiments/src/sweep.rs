@@ -1,0 +1,186 @@
+//! Parameter-sweep execution.
+//!
+//! A sweep is a list of labelled configurations executed (in parallel when
+//! cores allow) with the Poisson workload of `strip-workload`. Results come
+//! back in submission order regardless of completion order, so figures are
+//! deterministic.
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use strip_core::config::SimConfig;
+use strip_core::report::RunReport;
+use strip_workload::run_paper_sim;
+
+/// Global knobs of a reproduction campaign.
+#[derive(Debug, Clone)]
+pub struct RunSettings {
+    /// Simulated seconds per data point (the paper uses 1000).
+    pub duration: f64,
+    /// Base RNG seed; each point derives its own stream from the config.
+    pub seed: u64,
+    /// Worker threads for the sweep (`0` = autodetect).
+    pub threads: usize,
+    /// Independent replications per data point (seeds `seed..seed+replicas`);
+    /// figures report the mean across replicas.
+    pub replicas: usize,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings {
+            duration: default_duration(),
+            seed: 0x5712_1995,
+            threads: 0,
+            replicas: 1,
+        }
+    }
+}
+
+/// Reads the default per-point duration from `REPRO_SECONDS` (falling back
+/// to the paper's 1000 simulated seconds).
+#[must_use]
+pub fn default_duration() -> f64 {
+    std::env::var("REPRO_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|d| *d > 0.0)
+        .unwrap_or(1_000.0)
+}
+
+impl RunSettings {
+    /// Quick settings for tests: short runs, single thread.
+    #[must_use]
+    pub fn quick(duration: f64) -> Self {
+        RunSettings {
+            duration,
+            seed: 0x5712_1995,
+            threads: 1,
+            replicas: 1,
+        }
+    }
+
+    /// Applies the campaign duration/seed to a configuration.
+    #[must_use]
+    pub fn apply(&self, mut cfg: SimConfig) -> SimConfig {
+        cfg.duration = self.duration;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let n = if self.threads == 0 { hw } else { self.threads };
+        n.clamp(1, jobs.max(1))
+    }
+}
+
+/// Runs every configuration, returning reports in input order.
+#[must_use]
+pub fn run_sweep(settings: &RunSettings, configs: Vec<SimConfig>) -> Vec<RunReport> {
+    let jobs = configs.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = settings.worker_count(jobs);
+    if workers == 1 {
+        return configs.iter().map(run_paper_sim).collect();
+    }
+    let queue: SegQueue<(usize, SimConfig)> = SegQueue::new();
+    for (i, cfg) in configs.into_iter().enumerate() {
+        queue.push((i, cfg));
+    }
+    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; jobs]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some((i, cfg)) = queue.pop() {
+                    let report = run_paper_sim(&cfg);
+                    results.lock()[i] = Some(report);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strip_core::config::Policy;
+
+    fn configs(n: usize) -> Vec<SimConfig> {
+        (0..n)
+            .map(|i| {
+                SimConfig::builder()
+                    .policy(Policy::PAPER_SET[i % 4])
+                    .lambda_t(2.0 + i as f64)
+                    .duration(2.0)
+                    .seed(5)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let settings = RunSettings {
+            duration: 2.0,
+            seed: 5,
+            threads: 3,
+            replicas: 1,
+        };
+        let cfgs = configs(6);
+        let expected: Vec<String> = cfgs.iter().map(|c| c.policy.label().to_string()).collect();
+        let reports = run_sweep(&settings, cfgs);
+        let got: Vec<String> = reports.iter().map(|r| r.policy.clone()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let cfgs = configs(4);
+        let seq = run_sweep(
+            &RunSettings {
+                duration: 2.0,
+                seed: 5,
+                threads: 1,
+                replicas: 1,
+            },
+            cfgs.clone(),
+        );
+        let par = run_sweep(
+            &RunSettings {
+                duration: 2.0,
+                seed: 5,
+                threads: 4,
+                replicas: 1,
+            },
+            cfgs,
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let reports = run_sweep(&RunSettings::quick(1.0), vec![]);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn settings_apply_overrides() {
+        let s = RunSettings {
+            duration: 42.0,
+            seed: 9,
+            threads: 1,
+            replicas: 1,
+        };
+        let cfg = s.apply(SimConfig::default());
+        assert_eq!(cfg.duration, 42.0);
+        assert_eq!(cfg.seed, 9);
+    }
+}

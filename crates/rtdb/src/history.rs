@@ -1,0 +1,272 @@
+//! Historical views (paper §2: "Historical views provide support for
+//! maintaining not only the current attribute values of an object, but its
+//! past values as well"; §7 lists them as future work — implemented here as
+//! an extension).
+//!
+//! Every successful install appends `(generation_ts, payload)` to the
+//! object's history ring. Retention is bounded both by age (values older
+//! than `retention_secs` relative to the newest install are pruned) and by
+//! a per-object entry cap. As-of queries return the value in force at a
+//! requested past instant, or report a *miss* when the instant predates the
+//! retained window.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use strip_sim::time::SimTime;
+
+use crate::object::{Importance, ViewObjectId};
+
+/// Retention policy for historical views.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistoryPolicy {
+    /// Keep values whose generation is within this window of the newest.
+    pub retention_secs: f64,
+    /// Hard cap on retained entries per object.
+    pub max_entries_per_object: usize,
+}
+
+impl Default for HistoryPolicy {
+    fn default() -> Self {
+        HistoryPolicy {
+            retention_secs: 60.0,
+            max_entries_per_object: 256,
+        }
+    }
+}
+
+/// One retained version.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Version {
+    /// Generation timestamp of the value at its external source.
+    pub generation_ts: SimTime,
+    /// The value.
+    pub payload: f64,
+}
+
+/// Append-only, pruned per-object version chains for the view partitions.
+///
+/// # Example
+///
+/// ```
+/// use strip_db::history::{HistoryPolicy, HistoryStore};
+/// use strip_db::object::{Importance, ViewObjectId};
+/// use strip_sim::time::SimTime;
+///
+/// let t = SimTime::from_secs;
+/// let mut h = HistoryStore::new(HistoryPolicy::default(), 1, 0);
+/// let obj = ViewObjectId::new(Importance::Low, 0);
+/// h.record(obj, t(1.0), 100.0);
+/// h.record(obj, t(5.0), 120.0);
+/// // "What was the price at t = 3?"
+/// assert_eq!(h.value_as_of(obj, t(3.0)).unwrap().payload, 100.0);
+/// // Before the first retained version: a miss.
+/// assert!(h.value_as_of(obj, t(0.5)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    policy: HistoryPolicy,
+    chains: [Vec<VecDeque<Version>>; 2],
+    appends: u64,
+    pruned: u64,
+}
+
+impl HistoryStore {
+    /// Creates empty chains for `n_low` + `n_high` objects.
+    #[must_use]
+    pub fn new(policy: HistoryPolicy, n_low: u32, n_high: u32) -> Self {
+        HistoryStore {
+            policy,
+            chains: [
+                vec![VecDeque::new(); n_low as usize],
+                vec![VecDeque::new(); n_high as usize],
+            ],
+            appends: 0,
+            pruned: 0,
+        }
+    }
+
+    fn chain(&self, id: ViewObjectId) -> &VecDeque<Version> {
+        &self.chains[id.class.index()][id.index as usize]
+    }
+
+    fn chain_mut(&mut self, id: ViewObjectId) -> &mut VecDeque<Version> {
+        &mut self.chains[id.class.index()][id.index as usize]
+    }
+
+    /// Records an installed value. Installs arrive in increasing generation
+    /// order per object (the store's worthiness check guarantees it for
+    /// snapshot objects), which keeps chains sorted.
+    pub fn record(&mut self, id: ViewObjectId, generation_ts: SimTime, payload: f64) {
+        let retention = self.policy.retention_secs;
+        let cap = self.policy.max_entries_per_object;
+        let mut pruned = 0u64;
+        let chain = self.chain_mut(id);
+        debug_assert!(
+            chain.back().is_none_or(|v| v.generation_ts <= generation_ts),
+            "history appends must be generation-ordered"
+        );
+        chain.push_back(Version {
+            generation_ts,
+            payload,
+        });
+        // Prune by age relative to the newest generation, then by cap —
+        // always keeping at least the newest entry.
+        while chain.len() > 1
+            && generation_ts.since(chain.front().expect("non-empty").generation_ts) > retention
+        {
+            chain.pop_front();
+            pruned += 1;
+        }
+        while chain.len() > cap.max(1) {
+            chain.pop_front();
+            pruned += 1;
+        }
+        self.appends += 1;
+        self.pruned += pruned;
+    }
+
+    /// The value in force at instant `t`: the newest version with
+    /// `generation_ts <= t`. Returns `None` (a miss) when `t` predates the
+    /// retained window or the chain is empty.
+    #[must_use]
+    pub fn value_as_of(&self, id: ViewObjectId, t: SimTime) -> Option<Version> {
+        let chain = self.chain(id);
+        let first = chain.front()?;
+        if t < first.generation_ts {
+            return None;
+        }
+        // Binary search for the last version with generation_ts <= t.
+        let (a, b) = chain.as_slices();
+        let full: &[Version];
+        let joined;
+        if b.is_empty() {
+            full = a;
+        } else {
+            joined = chain.iter().copied().collect::<Vec<_>>();
+            full = &joined;
+        }
+        let idx = full.partition_point(|v| v.generation_ts <= t);
+        full.get(idx.wrapping_sub(1)).copied()
+    }
+
+    /// Number of retained versions for one object.
+    #[must_use]
+    pub fn chain_len(&self, id: ViewObjectId) -> usize {
+        self.chain(id).len()
+    }
+
+    /// Total retained versions across all objects.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        Importance::ALL
+            .iter()
+            .map(|c| self.chains[c.index()].iter().map(VecDeque::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Total versions ever recorded.
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Total versions pruned by retention or cap.
+    #[must_use]
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+
+    /// The retention policy in force.
+    #[must_use]
+    pub fn policy(&self) -> HistoryPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn id() -> ViewObjectId {
+        ViewObjectId::new(Importance::Low, 0)
+    }
+
+    fn store(retention: f64, cap: usize) -> HistoryStore {
+        HistoryStore::new(
+            HistoryPolicy {
+                retention_secs: retention,
+                max_entries_per_object: cap,
+            },
+            2,
+            1,
+        )
+    }
+
+    #[test]
+    fn as_of_returns_value_in_force() {
+        let mut h = store(100.0, 100);
+        h.record(id(), t(1.0), 10.0);
+        h.record(id(), t(3.0), 30.0);
+        h.record(id(), t(5.0), 50.0);
+        assert_eq!(h.value_as_of(id(), t(1.0)).unwrap().payload, 10.0);
+        assert_eq!(h.value_as_of(id(), t(2.9)).unwrap().payload, 10.0);
+        assert_eq!(h.value_as_of(id(), t(3.0)).unwrap().payload, 30.0);
+        assert_eq!(h.value_as_of(id(), t(99.0)).unwrap().payload, 50.0);
+    }
+
+    #[test]
+    fn queries_before_retained_window_miss() {
+        let mut h = store(100.0, 100);
+        h.record(id(), t(5.0), 50.0);
+        assert!(h.value_as_of(id(), t(4.9)).is_none());
+        assert!(h.value_as_of(ViewObjectId::new(Importance::High, 0), t(10.0)).is_none());
+    }
+
+    #[test]
+    fn age_retention_prunes_old_versions() {
+        let mut h = store(10.0, 100);
+        h.record(id(), t(0.0), 1.0);
+        h.record(id(), t(5.0), 2.0);
+        h.record(id(), t(20.0), 3.0); // 0.0 and 5.0 are > 10 s older
+        assert_eq!(h.chain_len(id()), 1);
+        assert_eq!(h.pruned(), 2);
+        assert!(h.value_as_of(id(), t(6.0)).is_none(), "pruned era misses");
+        assert_eq!(h.value_as_of(id(), t(25.0)).unwrap().payload, 3.0);
+    }
+
+    #[test]
+    fn cap_retention_prunes_oldest() {
+        let mut h = store(1e9, 3);
+        for i in 0..5 {
+            h.record(id(), t(f64::from(i)), f64::from(i));
+        }
+        assert_eq!(h.chain_len(id()), 3);
+        assert_eq!(h.value_as_of(id(), t(10.0)).unwrap().payload, 4.0);
+        assert!(h.value_as_of(id(), t(1.0)).is_none());
+        assert_eq!(h.appends(), 5);
+        assert_eq!(h.pruned(), 2);
+    }
+
+    #[test]
+    fn newest_entry_always_survives() {
+        let mut h = store(0.5, 1);
+        h.record(id(), t(0.0), 1.0);
+        h.record(id(), t(100.0), 2.0);
+        assert_eq!(h.chain_len(id()), 1);
+        assert_eq!(h.value_as_of(id(), t(200.0)).unwrap().payload, 2.0);
+    }
+
+    #[test]
+    fn total_entries_spans_objects() {
+        let mut h = store(100.0, 100);
+        h.record(id(), t(1.0), 1.0);
+        h.record(ViewObjectId::new(Importance::Low, 1), t(1.0), 1.0);
+        h.record(ViewObjectId::new(Importance::High, 0), t(1.0), 1.0);
+        assert_eq!(h.total_entries(), 3);
+    }
+}

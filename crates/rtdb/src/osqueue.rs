@@ -1,0 +1,123 @@
+//! The bounded operating-system message queue (paper §3.3).
+//!
+//! Arriving updates are buffered by the OS until the controller actively
+//! receives them. The OS queue lives in kernel space, is small (`OS_max`),
+//! and only supports FIFO receive of the next message — it cannot be
+//! searched or reordered, which is why the algorithms that defer updates
+//! also maintain the application-level update queue.
+
+use std::collections::VecDeque;
+
+use crate::update::Update;
+
+/// Bounded FIFO of arrived-but-unreceived updates.
+#[derive(Debug, Clone)]
+pub struct OsQueue {
+    buf: VecDeque<Update>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl OsQueue {
+    /// Creates a queue bounded at `capacity` messages.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        OsQueue {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Delivers an arriving update. Returns `false` (and counts a drop) if
+    /// the queue is full — the kernel discards the message.
+    pub fn deliver(&mut self, update: Update) -> bool {
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.buf.push_back(update);
+        true
+    }
+
+    /// Receives the next message in arrival order.
+    pub fn receive(&mut self) -> Option<Update> {
+        self.buf.pop_front()
+    }
+
+    /// Number of buffered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no messages are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Messages dropped due to overflow.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Importance, ViewObjectId};
+    use strip_sim::time::SimTime;
+
+    fn upd(seq: u64) -> Update {
+        Update {
+            seq,
+            object: ViewObjectId::new(Importance::Low, 0),
+            generation_ts: SimTime::from_secs(seq as f64),
+            arrival_ts: SimTime::from_secs(seq as f64),
+            payload: 0.0,
+            attr_mask: Update::COMPLETE,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = OsQueue::new(10);
+        for i in 0..5 {
+            assert!(q.deliver(upd(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(q.receive().unwrap().seq, i);
+        }
+        assert!(q.receive().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_arrivals() {
+        let mut q = OsQueue::new(2);
+        assert!(q.deliver(upd(0)));
+        assert!(q.deliver(upd(1)));
+        assert!(!q.deliver(upd(2)));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+        // Receiving frees a slot.
+        q.receive();
+        assert!(q.deliver(upd(3)));
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn empty_flags() {
+        let mut q = OsQueue::new(1);
+        assert!(q.is_empty());
+        q.deliver(upd(0));
+        assert!(!q.is_empty());
+    }
+}

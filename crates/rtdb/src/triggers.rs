@@ -1,0 +1,229 @@
+//! Update-triggered rules (paper §7 future work: "the efficient importation
+//! of update streams when updates can trigger a set of database rules" —
+//! STRIP itself provided triggers, §1).
+//!
+//! A rule watches a set of view objects and maintains one derived *general*
+//! object (e.g. a composite index over a basket of instruments). Installing
+//! an update into any watched object *fires* the rule; executing the rule
+//! costs CPU (it re-reads its sources and rewrites the derived value). The
+//! controller schedules rule executions as update-side work, so rule load
+//! competes with installs and transactions exactly like the rest of the
+//! update stream.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::{Importance, ViewObjectId};
+use crate::store::Store;
+
+/// One derived-data rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Rule identifier (index into the rule set).
+    pub id: u32,
+    /// View objects whose installs fire this rule.
+    pub sources: Vec<ViewObjectId>,
+    /// Index of the general object this rule maintains.
+    pub derived_general: u32,
+    /// Instructions one execution costs.
+    pub exec_instr: f64,
+}
+
+/// An immutable set of rules with a source-object index.
+///
+/// # Example
+///
+/// ```
+/// use strip_db::object::{Importance, ViewObjectId};
+/// use strip_db::triggers::{Rule, RuleSet};
+///
+/// let obj = |i| ViewObjectId::new(Importance::Low, i);
+/// let rules = RuleSet::new(vec![Rule {
+///     id: 0,
+///     sources: vec![obj(1), obj(2)],
+///     derived_general: 0,
+///     exec_instr: 10_000.0,
+/// }]);
+/// assert_eq!(rules.triggered_by(obj(2)), &[0]);
+/// assert!(rules.triggered_by(obj(5)).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    by_source: HashMap<ViewObjectId, Vec<u32>>,
+}
+
+impl RuleSet {
+    /// Builds a rule set and its source index.
+    #[must_use]
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut by_source: HashMap<ViewObjectId, Vec<u32>> = HashMap::new();
+        for rule in &rules {
+            for &src in &rule.sources {
+                by_source.entry(src).or_default().push(rule.id);
+            }
+        }
+        RuleSet { rules, by_source }
+    }
+
+    /// The rules fired by an install into `object`.
+    #[must_use]
+    pub fn triggered_by(&self, object: ViewObjectId) -> &[u32] {
+        self.by_source.get(&object).map_or(&[], Vec::as_slice)
+    }
+
+    /// Looks up a rule by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn rule(&self, id: u32) -> &Rule {
+        &self.rules[id as usize]
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set holds no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Executes a rule against the store: recompute the derived general
+    /// object as the mean of its sources' current payloads. Returns the new
+    /// derived value.
+    pub fn execute(&self, id: u32, store: &mut Store) -> f64 {
+        let rule = &self.rules[id as usize];
+        let sum: f64 = rule.sources.iter().map(|&s| store.view(s).payload).sum();
+        let value = if rule.sources.is_empty() {
+            0.0
+        } else {
+            sum / rule.sources.len() as f64
+        };
+        store.write_general(rule.derived_general as usize, value);
+        value
+    }
+}
+
+/// Deterministically generates `n_rules` rules, each watching
+/// `sources_per_rule` uniformly random view objects and maintaining one
+/// general object (round-robin), costing `exec_instr` per execution.
+#[must_use]
+pub fn generate_rules(
+    n_rules: u32,
+    sources_per_rule: u32,
+    exec_instr: f64,
+    n_low: u32,
+    n_high: u32,
+    n_general: u32,
+    rng: &mut strip_sim::rng::Xoshiro256pp,
+) -> RuleSet {
+    let total = u64::from(n_low) + u64::from(n_high);
+    let mut rules = Vec::with_capacity(n_rules as usize);
+    for id in 0..n_rules {
+        let sources = (0..sources_per_rule)
+            .map(|_| {
+                let k = rng.next_below(total.max(1));
+                if k < u64::from(n_low) {
+                    ViewObjectId::new(Importance::Low, k as u32)
+                } else {
+                    ViewObjectId::new(Importance::High, (k - u64::from(n_low)) as u32)
+                }
+            })
+            .collect();
+        rules.push(Rule {
+            id,
+            sources,
+            derived_general: id % n_general.max(1),
+            exec_instr,
+        });
+    }
+    RuleSet::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strip_sim::rng::Xoshiro256pp;
+    use strip_sim::time::SimTime;
+
+    fn obj(i: u32) -> ViewObjectId {
+        ViewObjectId::new(Importance::Low, i)
+    }
+
+    #[test]
+    fn source_index_finds_rules() {
+        let rs = RuleSet::new(vec![
+            Rule {
+                id: 0,
+                sources: vec![obj(1), obj(2)],
+                derived_general: 0,
+                exec_instr: 100.0,
+            },
+            Rule {
+                id: 1,
+                sources: vec![obj(2)],
+                derived_general: 1,
+                exec_instr: 100.0,
+            },
+        ]);
+        assert_eq!(rs.triggered_by(obj(1)), &[0]);
+        assert_eq!(rs.triggered_by(obj(2)), &[0, 1]);
+        assert!(rs.triggered_by(obj(9)).is_empty());
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn execute_recomputes_derived_value() {
+        let mut store = Store::new(4, 0, 2, SimTime::ZERO);
+        let rs = RuleSet::new(vec![Rule {
+            id: 0,
+            sources: vec![obj(0), obj(1)],
+            derived_general: 1,
+            exec_instr: 100.0,
+        }]);
+        // Give the sources values via installs.
+        for (i, v) in [(0u32, 10.0), (1u32, 30.0)] {
+            let u = crate::update::Update {
+                seq: u64::from(i),
+                object: obj(i),
+                generation_ts: SimTime::from_secs(1.0),
+                arrival_ts: SimTime::from_secs(1.0),
+                payload: v,
+                attr_mask: crate::update::Update::COMPLETE,
+            };
+            store.install(&u);
+        }
+        let derived = rs.execute(0, &mut store);
+        assert_eq!(derived, 20.0);
+        assert_eq!(store.read_general(1), 20.0);
+    }
+
+    #[test]
+    fn generated_rules_cover_both_partitions() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let rs = generate_rules(50, 4, 1_000.0, 10, 10, 5, &mut rng);
+        assert_eq!(rs.len(), 50);
+        let mut low = false;
+        let mut high = false;
+        for id in 0..50 {
+            let r = rs.rule(id);
+            assert_eq!(r.sources.len(), 4);
+            assert!(r.derived_general < 5);
+            for s in &r.sources {
+                match s.class {
+                    Importance::Low => low = true,
+                    Importance::High => high = true,
+                }
+            }
+        }
+        assert!(low && high);
+    }
+}

@@ -1,0 +1,656 @@
+//! The application-level update queue (paper §3.3, §4.2).
+//!
+//! Unapplied updates are kept **in generation-time order** (not arrival
+//! order) so the system can (a) apply updates in order even when the network
+//! reorders them, and (b) discard expired updates under the Maximum Age
+//! criterion with a constant-time head check.
+//!
+//! The queue supports both service disciplines studied in the paper:
+//! * **FIFO** — pop the oldest generation first;
+//! * **LIFO** — pop the newest generation first (maximises the remaining
+//!   lifetime of the installed value).
+//!
+//! It is bounded at `UQ_max`; when a new update would overflow the queue the
+//! *oldest* update is discarded (§4.2). The structure also supports the
+//! paper's future-work extension of a hash index over queued updates: in
+//! dedup mode, inserting an update removes any older queued update for the
+//! same object (complete updates to snapshot views make all but the newest
+//! worthless), which both bounds the queue under UU and makes On-Demand
+//! lookups constant time.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+use strip_sim::time::SimTime;
+
+use crate::object::ViewObjectId;
+use crate::update::Update;
+
+/// Key ordering queued updates by generation time (sequence number breaks
+/// ties deterministically).
+type QueueKey = (SimTime, u64);
+
+/// Outcome of an insert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertOutcome {
+    /// Older same-object updates removed by dedup mode.
+    pub deduped: usize,
+    /// The update discarded because the queue was full (may be the
+    /// just-inserted update itself if it was the oldest).
+    pub displaced: Option<Update>,
+}
+
+/// Generation-ordered bounded buffer of unapplied updates.
+///
+/// # Example
+///
+/// ```
+/// use strip_db::object::{Importance, ViewObjectId};
+/// use strip_db::update::Update;
+/// use strip_db::update_queue::UpdateQueue;
+/// use strip_sim::time::SimTime;
+///
+/// let mut q = UpdateQueue::new(100, false);
+/// for (seq, gen) in [(0u64, 3.0), (1, 1.0), (2, 2.0)] {
+///     q.insert(Update {
+///         seq,
+///         object: ViewObjectId::new(Importance::Low, seq as u32),
+///         generation_ts: SimTime::from_secs(gen),
+///         arrival_ts: SimTime::from_secs(gen + 0.1),
+///         payload: 0.0,
+///         attr_mask: Update::COMPLETE,
+///     });
+/// }
+/// // FIFO service returns the oldest *generation*, not the first arrival.
+/// assert_eq!(q.pop_oldest().unwrap().seq, 1);
+/// // MA expiry discards from the head in O(expired).
+/// assert_eq!(q.discard_expired(SimTime::from_secs(9.1), 7.0), 1);
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UpdateQueue {
+    by_generation: BTreeMap<QueueKey, Update>,
+    per_object: HashMap<ViewObjectId, BTreeSet<QueueKey>>,
+    capacity: usize,
+    dedup: bool,
+    overflow_dropped: u64,
+    expired_dropped: u64,
+    dedup_dropped: u64,
+}
+
+impl UpdateQueue {
+    /// Creates a queue bounded at `capacity` updates. With `dedup` enabled
+    /// the hash-index extension keeps at most one (the newest) update per
+    /// object.
+    #[must_use]
+    pub fn new(capacity: usize, dedup: bool) -> Self {
+        UpdateQueue {
+            by_generation: BTreeMap::new(),
+            per_object: HashMap::new(),
+            capacity,
+            dedup,
+            overflow_dropped: 0,
+            expired_dropped: 0,
+            dedup_dropped: 0,
+        }
+    }
+
+    fn key(u: &Update) -> QueueKey {
+        (u.generation_ts, u.seq)
+    }
+
+    fn unlink(&mut self, key: QueueKey) -> Option<Update> {
+        let update = self.by_generation.remove(&key)?;
+        if let Some(set) = self.per_object.get_mut(&update.object) {
+            set.remove(&key);
+            if set.is_empty() {
+                self.per_object.remove(&update.object);
+            }
+        }
+        Some(update)
+    }
+
+    fn link(&mut self, update: Update) {
+        let key = Self::key(&update);
+        self.per_object.entry(update.object).or_default().insert(key);
+        let prev = self.by_generation.insert(key, update);
+        debug_assert!(prev.is_none(), "duplicate queue key");
+    }
+
+    /// Enqueues `update`, applying dedup (if enabled) and the overflow
+    /// policy.
+    pub fn insert(&mut self, update: Update) -> InsertOutcome {
+        let mut outcome = InsertOutcome {
+            deduped: 0,
+            displaced: None,
+        };
+        if self.dedup {
+            let new_key = Self::key(&update);
+            // A newer (or equal) update for the same object is already
+            // queued: the arrival is worthless — drop it instead.
+            let superseded = self
+                .per_object
+                .get(&update.object)
+                .and_then(|set| set.iter().next_back())
+                .is_some_and(|&newest| newest >= new_key);
+            if superseded {
+                outcome.deduped = 1;
+                self.dedup_dropped += 1;
+                return outcome;
+            }
+            // Otherwise remove the queued updates this one supersedes.
+            let older: Vec<QueueKey> = self
+                .per_object
+                .get(&update.object)
+                .map(|set| set.range(..new_key).copied().collect())
+                .unwrap_or_default();
+            for key in older {
+                self.unlink(key);
+                outcome.deduped += 1;
+                self.dedup_dropped += 1;
+            }
+        }
+        self.link(update);
+        if self.by_generation.len() > self.capacity {
+            // Discard the oldest update (§4.2) — possibly the new arrival.
+            let oldest_key = *self
+                .by_generation
+                .keys()
+                .next()
+                .expect("non-empty queue has an oldest entry");
+            outcome.displaced = self.unlink(oldest_key);
+            self.overflow_dropped += 1;
+        }
+        outcome
+    }
+
+    /// Removes the update with the oldest generation (FIFO service).
+    pub fn pop_oldest(&mut self) -> Option<Update> {
+        let key = *self.by_generation.keys().next()?;
+        self.unlink(key)
+    }
+
+    /// Removes the update with the newest generation (LIFO service).
+    pub fn pop_newest(&mut self) -> Option<Update> {
+        let key = *self.by_generation.keys().next_back()?;
+        self.unlink(key)
+    }
+
+    /// Discards every queued update whose value age exceeds `alpha` at
+    /// `now` (MA expiry, performed at scheduling points). Returns how many
+    /// were discarded. Because the queue is generation-ordered this only
+    /// inspects the head.
+    pub fn discard_expired(&mut self, now: SimTime, alpha: f64) -> usize {
+        let mut n = 0;
+        while let Some((&(gen_ts, seq), _)) = self.by_generation.iter().next() {
+            // Same age test as `Update::expired_at`, so the head check and
+            // per-update expiry agree bit-for-bit.
+            if now.since(gen_ts) <= alpha {
+                break;
+            }
+            self.unlink((gen_ts, seq));
+            n += 1;
+        }
+        self.expired_dropped += n as u64;
+        n
+    }
+
+    /// The newest queued update for `object`, if any (what an On-Demand
+    /// refresh or an Unapplied-Update staleness check looks for).
+    #[must_use]
+    pub fn newest_for(&self, object: ViewObjectId) -> Option<&Update> {
+        let key = *self.per_object.get(&object)?.iter().next_back()?;
+        self.by_generation.get(&key)
+    }
+
+    /// Removes and returns the newest queued update for `object`.
+    pub fn take_newest_for(&mut self, object: ViewObjectId) -> Option<Update> {
+        let key = *self.per_object.get(&object)?.iter().next_back()?;
+        self.unlink(key)
+    }
+
+    /// True if any update for `object` is queued.
+    #[must_use]
+    pub fn has_pending_for(&self, object: ViewObjectId) -> bool {
+        self.per_object.contains_key(&object)
+    }
+
+    /// Removes the newest update for the object with the highest `score`
+    /// (access-driven service, extension): scans the per-object index
+    /// (O(distinct objects)), breaking score ties by object id so service
+    /// order is deterministic.
+    pub fn pop_hottest<F>(&mut self, score: F) -> Option<Update>
+    where
+        F: Fn(ViewObjectId) -> u64,
+    {
+        let hottest = self
+            .per_object
+            .keys()
+            .copied()
+            .max_by_key(|&id| (score(id), std::cmp::Reverse(id)))?;
+        self.take_newest_for(hottest)
+    }
+
+    /// Number of queued updates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_generation.len()
+    }
+
+    /// True when no updates are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_generation.is_empty()
+    }
+
+    /// The configured bound (`UQ_max`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Updates discarded by the overflow policy so far.
+    #[must_use]
+    pub fn overflow_dropped(&self) -> u64 {
+        self.overflow_dropped
+    }
+
+    /// Updates discarded as MA-expired so far.
+    #[must_use]
+    pub fn expired_dropped(&self) -> u64 {
+        self.expired_dropped
+    }
+
+    /// Updates removed as superseded by dedup mode so far.
+    #[must_use]
+    pub fn dedup_dropped(&self) -> u64 {
+        self.dedup_dropped
+    }
+
+    /// Iterates queued updates in generation order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &Update> {
+        self.by_generation.values()
+    }
+
+    /// Internal consistency check used by tests: the per-object index and
+    /// the generation map describe the same set.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let indexed: usize = self.per_object.values().map(BTreeSet::len).sum();
+        if indexed != self.by_generation.len() {
+            return false;
+        }
+        self.per_object.iter().all(|(obj, keys)| {
+            keys.iter().all(|k| {
+                self.by_generation
+                    .get(k)
+                    .is_some_and(|u| u.object == *obj && Self::key(u) == *k)
+            })
+        })
+    }
+}
+
+/// A pair of update queues partitioned by importance (paper §4.2: "It would
+/// also be possible to split the update queue into two queues, and to
+/// partition updates by their importance. When no transactions were waiting,
+/// updates could first be installed out of the high importance queue. This
+/// enhancement is a subject for future study.") — implemented here. In
+/// unsplit mode it degenerates to a single [`UpdateQueue`].
+#[derive(Debug, Clone)]
+pub struct DualUpdateQueue {
+    /// Low-importance updates — or everything, when not split.
+    low: UpdateQueue,
+    /// High-importance updates when split mode is on.
+    high: Option<UpdateQueue>,
+}
+
+impl DualUpdateQueue {
+    /// Creates the queue set. With `split`, each partition is bounded at
+    /// `capacity` separately (the bound protects memory per queue).
+    #[must_use]
+    pub fn new(capacity: usize, dedup: bool, split: bool) -> Self {
+        DualUpdateQueue {
+            low: UpdateQueue::new(capacity, dedup),
+            high: split.then(|| UpdateQueue::new(capacity, dedup)),
+        }
+    }
+
+    fn queue_for(&self, object: ViewObjectId) -> &UpdateQueue {
+        match (&self.high, object.class) {
+            (Some(high), crate::object::Importance::High) => high,
+            _ => &self.low,
+        }
+    }
+
+    fn queue_for_mut(&mut self, object: ViewObjectId) -> &mut UpdateQueue {
+        match (&mut self.high, object.class) {
+            (Some(high), crate::object::Importance::High) => high,
+            _ => &mut self.low,
+        }
+    }
+
+    /// Enqueues an update into its partition.
+    pub fn insert(&mut self, update: Update) -> InsertOutcome {
+        self.queue_for_mut(update.object).insert(update)
+    }
+
+    /// Removes the next update to install: high-importance partition first,
+    /// then low, each under the given discipline (`newest_first` = LIFO).
+    pub fn pop(&mut self, newest_first: bool) -> Option<Update> {
+        let pick = |q: &mut UpdateQueue| {
+            if newest_first {
+                q.pop_newest()
+            } else {
+                q.pop_oldest()
+            }
+        };
+        if let Some(high) = self.high.as_mut() {
+            if let Some(u) = pick(high) {
+                return Some(u);
+            }
+        }
+        pick(&mut self.low)
+    }
+
+    /// Discards MA-expired updates from both partitions.
+    pub fn discard_expired(&mut self, now: SimTime, alpha: f64) -> usize {
+        let mut n = self.low.discard_expired(now, alpha);
+        if let Some(high) = self.high.as_mut() {
+            n += high.discard_expired(now, alpha);
+        }
+        n
+    }
+
+    /// The newest queued update for `object`.
+    #[must_use]
+    pub fn newest_for(&self, object: ViewObjectId) -> Option<&Update> {
+        self.queue_for(object).newest_for(object)
+    }
+
+    /// Removes and returns the newest queued update for `object`.
+    pub fn take_newest_for(&mut self, object: ViewObjectId) -> Option<Update> {
+        self.queue_for_mut(object).take_newest_for(object)
+    }
+
+    /// Access-driven pop: hottest object first, high partition taking
+    /// precedence in split mode.
+    pub fn pop_hottest<F>(&mut self, score: F) -> Option<Update>
+    where
+        F: Fn(ViewObjectId) -> u64,
+    {
+        if let Some(high) = self.high.as_mut() {
+            if let Some(u) = high.pop_hottest(&score) {
+                return Some(u);
+            }
+        }
+        self.low.pop_hottest(score)
+    }
+
+    /// Total queued updates across partitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.low.len() + self.high.as_ref().map_or(0, UpdateQueue::len)
+    }
+
+    /// True when both partitions are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total overflow discards.
+    #[must_use]
+    pub fn overflow_dropped(&self) -> u64 {
+        self.low.overflow_dropped() + self.high.as_ref().map_or(0, UpdateQueue::overflow_dropped)
+    }
+
+    /// Total MA-expiry discards.
+    #[must_use]
+    pub fn expired_dropped(&self) -> u64 {
+        self.low.expired_dropped() + self.high.as_ref().map_or(0, UpdateQueue::expired_dropped)
+    }
+
+    /// Total dedup removals.
+    #[must_use]
+    pub fn dedup_dropped(&self) -> u64 {
+        self.low.dedup_dropped() + self.high.as_ref().map_or(0, UpdateQueue::dedup_dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Importance;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn upd(seq: u64, obj_idx: u32, gen: f64) -> Update {
+        Update {
+            seq,
+            object: ViewObjectId::new(Importance::Low, obj_idx),
+            generation_ts: t(gen),
+            arrival_ts: t(gen + 0.05),
+            payload: seq as f64,
+            attr_mask: Update::COMPLETE,
+        }
+    }
+
+    #[test]
+    fn generation_order_not_arrival_order() {
+        let mut q = UpdateQueue::new(10, false);
+        q.insert(upd(0, 0, 5.0)); // arrives first, generated later
+        q.insert(upd(1, 1, 2.0)); // arrives second, generated earlier
+        assert_eq!(q.pop_oldest().unwrap().seq, 1);
+        assert_eq!(q.pop_oldest().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn lifo_pops_newest_generation() {
+        let mut q = UpdateQueue::new(10, false);
+        q.insert(upd(0, 0, 1.0));
+        q.insert(upd(1, 1, 3.0));
+        q.insert(upd(2, 2, 2.0));
+        assert_eq!(q.pop_newest().unwrap().seq, 1);
+        assert_eq!(q.pop_newest().unwrap().seq, 2);
+        assert_eq!(q.pop_newest().unwrap().seq, 0);
+        assert!(q.pop_newest().is_none());
+    }
+
+    #[test]
+    fn overflow_discards_oldest() {
+        let mut q = UpdateQueue::new(2, false);
+        q.insert(upd(0, 0, 1.0));
+        q.insert(upd(1, 1, 2.0));
+        let out = q.insert(upd(2, 2, 3.0));
+        assert_eq!(out.displaced.unwrap().seq, 0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.overflow_dropped(), 1);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn overflow_can_discard_the_arrival_itself() {
+        let mut q = UpdateQueue::new(2, false);
+        q.insert(upd(0, 0, 5.0));
+        q.insert(upd(1, 1, 6.0));
+        // The arrival is the oldest generation, so it is the one discarded.
+        let out = q.insert(upd(2, 2, 1.0));
+        assert_eq!(out.displaced.unwrap().seq, 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn expiry_discards_only_old_generations() {
+        let mut q = UpdateQueue::new(10, false);
+        q.insert(upd(0, 0, 1.0));
+        q.insert(upd(1, 1, 4.0));
+        q.insert(upd(2, 2, 9.5));
+        // At t = 10 with alpha = 7, generations before 3.0 expire.
+        assert_eq!(q.discard_expired(t(10.0), 7.0), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.expired_dropped(), 1);
+        // Exactly at the boundary (age == alpha) is not expired.
+        assert_eq!(q.discard_expired(t(11.0), 7.0), 0);
+        assert_eq!(q.discard_expired(t(11.1), 7.0), 1);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn newest_for_object_across_duplicates() {
+        let mut q = UpdateQueue::new(10, false);
+        q.insert(upd(0, 7, 1.0));
+        q.insert(upd(1, 7, 3.0));
+        q.insert(upd(2, 7, 2.0));
+        q.insert(upd(3, 8, 9.0));
+        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 1);
+        let taken = q.take_newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap();
+        assert_eq!(taken.seq, 1);
+        // Older duplicates remain when dedup is off.
+        assert!(q.has_pending_for(ViewObjectId::new(Importance::Low, 7)));
+        assert_eq!(q.len(), 3);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn dedup_keeps_only_newest_per_object() {
+        let mut q = UpdateQueue::new(10, true);
+        q.insert(upd(0, 7, 1.0));
+        q.insert(upd(1, 7, 2.0));
+        let out = q.insert(upd(2, 7, 3.0));
+        assert_eq!(out.deduped, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.dedup_dropped(), 2);
+        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 2);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn dedup_discards_late_older_arrival() {
+        let mut q = UpdateQueue::new(10, true);
+        q.insert(upd(0, 7, 5.0));
+        // An older generation arriving late is itself worthless: dropped.
+        let out = q.insert(upd(1, 7, 2.0));
+        assert_eq!(out.deduped, 1);
+        assert!(out.displaced.is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 0);
+        assert_eq!(q.dedup_dropped(), 1);
+    }
+
+    #[test]
+    fn missing_object_lookups() {
+        let mut q = UpdateQueue::new(4, false);
+        let ghost = ViewObjectId::new(Importance::High, 99);
+        assert!(q.newest_for(ghost).is_none());
+        assert!(q.take_newest_for(ghost).is_none());
+        assert!(!q.has_pending_for(ghost));
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 4);
+    }
+
+    fn hupd(seq: u64, obj_idx: u32, gen: f64) -> Update {
+        Update {
+            seq,
+            object: ViewObjectId::new(Importance::High, obj_idx),
+            generation_ts: t(gen),
+            arrival_ts: t(gen + 0.05),
+            payload: seq as f64,
+            attr_mask: Update::COMPLETE,
+        }
+    }
+
+    #[test]
+    fn dual_unsplit_behaves_like_single_queue() {
+        let mut q = DualUpdateQueue::new(10, false, false);
+        q.insert(upd(0, 0, 2.0));
+        q.insert(hupd(1, 0, 1.0));
+        // FIFO over the single merged queue: oldest generation first.
+        assert_eq!(q.pop(false).unwrap().seq, 1);
+        assert_eq!(q.pop(false).unwrap().seq, 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dual_split_serves_high_importance_first() {
+        let mut q = DualUpdateQueue::new(10, false, true);
+        q.insert(upd(0, 0, 1.0)); // low, oldest generation overall
+        q.insert(hupd(1, 0, 5.0)); // high
+        q.insert(hupd(2, 1, 3.0)); // high
+        // High partition drains first (FIFO within it), then low.
+        assert_eq!(q.pop(false).unwrap().seq, 2);
+        assert_eq!(q.pop(false).unwrap().seq, 1);
+        assert_eq!(q.pop(false).unwrap().seq, 0);
+        assert!(q.pop(false).is_none());
+    }
+
+    #[test]
+    fn dual_split_routes_lookups_by_class() {
+        let mut q = DualUpdateQueue::new(10, false, true);
+        q.insert(upd(0, 7, 1.0));
+        q.insert(hupd(1, 7, 2.0));
+        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 0);
+        assert_eq!(q.newest_for(ViewObjectId::new(Importance::High, 7)).unwrap().seq, 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take_newest_for(ViewObjectId::new(Importance::High, 7)).unwrap().seq, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn dual_split_expiry_and_counters_span_partitions() {
+        let mut q = DualUpdateQueue::new(2, false, true);
+        q.insert(upd(0, 0, 1.0));
+        q.insert(hupd(1, 0, 1.5));
+        q.insert(upd(2, 1, 2.0));
+        q.insert(upd(3, 2, 3.0)); // low partition overflows (cap 2)
+        assert_eq!(q.overflow_dropped(), 1);
+        assert_eq!(q.discard_expired(t(10.0), 7.0), 2); // gens 1.5 and 2.0
+        assert_eq!(q.expired_dropped(), 2);
+    }
+
+    #[test]
+    fn pop_hottest_orders_by_score_then_id() {
+        let mut q = UpdateQueue::new(10, false);
+        q.insert(upd(0, 3, 1.0));
+        q.insert(upd(1, 3, 2.0)); // newest for object 3
+        q.insert(upd(2, 5, 0.5));
+        q.insert(upd(3, 7, 3.0));
+        let score = |id: ViewObjectId| match id.index {
+            5 => 10u64,
+            3 => 10,
+            _ => 1,
+        };
+        // Tie between objects 3 and 5 broken by the smaller id; newest
+        // update for that object pops. Object 3 still holds its older
+        // update, so it wins again before object 5's score drops out.
+        assert_eq!(q.pop_hottest(score).unwrap().seq, 1);
+        assert_eq!(q.pop_hottest(score).unwrap().seq, 0);
+        assert_eq!(q.pop_hottest(score).unwrap().seq, 2);
+        assert_eq!(q.pop_hottest(score).unwrap().seq, 3);
+        assert!(q.pop_hottest(score).is_none());
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn dual_pop_hottest_prefers_high_partition() {
+        let mut q = DualUpdateQueue::new(10, false, true);
+        q.insert(upd(0, 0, 1.0)); // low, hot
+        q.insert(hupd(1, 9, 1.0)); // high, cold
+        let score = |id: ViewObjectId| u64::from(id.class == Importance::Low) * 100;
+        // Split mode: high partition drains first regardless of heat.
+        assert_eq!(q.pop_hottest(score).unwrap().seq, 1);
+        assert_eq!(q.pop_hottest(score).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn iter_is_generation_ordered() {
+        let mut q = UpdateQueue::new(10, false);
+        q.insert(upd(0, 0, 3.0));
+        q.insert(upd(1, 1, 1.0));
+        q.insert(upd(2, 2, 2.0));
+        let gens: Vec<f64> = q.iter().map(|u| u.generation_ts.as_secs()).collect();
+        assert_eq!(gens, vec![1.0, 2.0, 3.0]);
+    }
+}

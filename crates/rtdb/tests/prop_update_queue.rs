@@ -1,0 +1,197 @@
+//! Property tests: the generation-ordered update queue against a
+//! brute-force reference model, under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use strip_db::object::{Importance, ViewObjectId};
+use strip_db::update::Update;
+use strip_db::update_queue::UpdateQueue;
+use strip_sim::time::SimTime;
+
+/// Operations exercised against both implementations.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { obj: u32, gen_ms: u32 },
+    PopOldest,
+    PopNewest,
+    DiscardExpired { now_ms: u32, alpha_ms: u32 },
+    TakeNewestFor { obj: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..20, 0u32..10_000).prop_map(|(obj, gen_ms)| Op::Insert { obj, gen_ms }),
+        2 => Just(Op::PopOldest),
+        2 => Just(Op::PopNewest),
+        1 => (0u32..12_000, 100u32..5_000)
+            .prop_map(|(now_ms, alpha_ms)| Op::DiscardExpired { now_ms, alpha_ms }),
+        2 => (0u32..20).prop_map(|obj| Op::TakeNewestFor { obj }),
+    ]
+}
+
+/// Brute-force reference: a plain vector of updates.
+#[derive(Default)]
+struct Model {
+    items: Vec<Update>,
+}
+
+impl Model {
+    fn key(u: &Update) -> (SimTime, u64) {
+        (u.generation_ts, u.seq)
+    }
+
+    fn insert(&mut self, u: Update, cap: usize, dedup: bool) {
+        if dedup {
+            let new_key = Self::key(&u);
+            // A newer (or equal) same-object update supersedes the arrival.
+            if self
+                .items
+                .iter()
+                .any(|e| e.object == u.object && Self::key(e) >= new_key)
+            {
+                return;
+            }
+            self.items
+                .retain(|e| e.object != u.object || Self::key(e) >= new_key);
+        }
+        self.items.push(u);
+        if self.items.len() > cap {
+            let oldest = self
+                .items
+                .iter()
+                .map(Self::key)
+                .min()
+                .expect("non-empty");
+            self.items.retain(|e| Self::key(e) != oldest);
+        }
+    }
+
+    fn pop_oldest(&mut self) -> Option<Update> {
+        let key = self.items.iter().map(Self::key).min()?;
+        let idx = self.items.iter().position(|e| Self::key(e) == key)?;
+        Some(self.items.remove(idx))
+    }
+
+    fn pop_newest(&mut self) -> Option<Update> {
+        let key = self.items.iter().map(Self::key).max()?;
+        let idx = self.items.iter().position(|e| Self::key(e) == key)?;
+        Some(self.items.remove(idx))
+    }
+
+    fn discard_expired(&mut self, now: SimTime, alpha: f64) -> usize {
+        let before = self.items.len();
+        self.items.retain(|e| now.since(e.generation_ts) <= alpha);
+        before - self.items.len()
+    }
+
+    fn take_newest_for(&mut self, obj: ViewObjectId) -> Option<Update> {
+        let key = self
+            .items
+            .iter()
+            .filter(|e| e.object == obj)
+            .map(Self::key)
+            .max()?;
+        let idx = self.items.iter().position(|e| Self::key(e) == key)?;
+        Some(self.items.remove(idx))
+    }
+}
+
+fn mk_update(seq: u64, obj: u32, gen_ms: u32) -> Update {
+    Update {
+        seq,
+        object: ViewObjectId::new(Importance::Low, obj),
+        generation_ts: SimTime::from_secs(f64::from(gen_ms) / 1000.0),
+        arrival_ts: SimTime::from_secs(f64::from(gen_ms) / 1000.0 + 0.05),
+        payload: f64::from(seq as u32),
+        attr_mask: Update::COMPLETE,
+    }
+}
+
+fn run_ops(ops: Vec<Op>, cap: usize, dedup: bool) {
+    let mut q = UpdateQueue::new(cap, dedup);
+    let mut model = Model::default();
+    let mut seq = 0u64;
+    for op in ops {
+        match op {
+            Op::Insert { obj, gen_ms } => {
+                let u = mk_update(seq, obj, gen_ms);
+                seq += 1;
+                q.insert(u);
+                model.insert(u, cap, dedup);
+            }
+            Op::PopOldest => {
+                assert_eq!(q.pop_oldest(), model.pop_oldest());
+            }
+            Op::PopNewest => {
+                assert_eq!(q.pop_newest(), model.pop_newest());
+            }
+            Op::DiscardExpired { now_ms, alpha_ms } => {
+                let now = SimTime::from_secs(f64::from(now_ms) / 1000.0);
+                let alpha = f64::from(alpha_ms) / 1000.0;
+                let got = q.discard_expired(now, alpha);
+                let want = model.discard_expired(now, alpha);
+                assert_eq!(got, want, "expiry discard count");
+            }
+            Op::TakeNewestFor { obj } => {
+                let id = ViewObjectId::new(Importance::Low, obj);
+                assert_eq!(q.take_newest_for(id), model.take_newest_for(id));
+            }
+        }
+        assert_eq!(q.len(), model.items.len());
+        assert!(q.len() <= cap);
+        assert!(q.check_invariants(), "index/map divergence");
+        // Queue iteration must be generation-sorted.
+        let gens: Vec<_> = q.iter().map(|u| (u.generation_ts, u.seq)).collect();
+        let mut sorted = gens.clone();
+        sorted.sort();
+        assert_eq!(gens, sorted);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn queue_matches_model_plain(ops in prop::collection::vec(op_strategy(), 1..120), cap in 1usize..40) {
+        run_ops(ops, cap, false);
+    }
+
+    #[test]
+    fn queue_matches_model_dedup(ops in prop::collection::vec(op_strategy(), 1..120), cap in 1usize..40) {
+        run_ops(ops, cap, true);
+    }
+
+    #[test]
+    fn dedup_holds_at_most_one_update_per_object(
+        inserts in prop::collection::vec((0u32..10, 0u32..10_000), 1..200)
+    ) {
+        let mut q = UpdateQueue::new(1_000, true);
+        for (i, (obj, gen_ms)) in inserts.into_iter().enumerate() {
+            q.insert(mk_update(i as u64, obj, gen_ms));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for u in q.iter() {
+            assert!(seen.insert(u.object), "duplicate pending update for {:?}", u.object);
+        }
+        assert!(q.len() <= 10);
+    }
+
+    #[test]
+    fn newest_for_agrees_with_iteration(
+        inserts in prop::collection::vec((0u32..8, 0u32..10_000), 1..100)
+    ) {
+        let mut q = UpdateQueue::new(1_000, false);
+        for (i, (obj, gen_ms)) in inserts.into_iter().enumerate() {
+            q.insert(mk_update(i as u64, obj, gen_ms));
+        }
+        for obj in 0..8u32 {
+            let id = ViewObjectId::new(Importance::Low, obj);
+            let expect = q
+                .iter()
+                .filter(|u| u.object == id)
+                .max_by_key(|u| (u.generation_ts, u.seq))
+                .copied();
+            assert_eq!(q.newest_for(id).copied(), expect);
+            assert_eq!(q.has_pending_for(id), expect.is_some());
+        }
+    }
+}

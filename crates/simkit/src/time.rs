@@ -1,0 +1,178 @@
+//! Simulation time.
+//!
+//! Simulated time is a non-negative number of seconds represented as `f64`.
+//! The newtype [`SimTime`] provides a total order (simulation times are never
+//! NaN by construction) so it can key ordered collections such as the event
+//! queue and the generation-ordered update queue.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// `SimTime` is totally ordered. Constructors reject NaN, which is the only
+/// source of partiality in `f64` comparisons; all arithmetic on non-NaN
+/// operands stays non-NaN.
+///
+/// Times may be negative: view objects are initialised with generation
+/// timestamps *before* the simulation start so that staleness statistics
+/// begin in steady state (see the design notes in `DESIGN.md`).
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation origin (t = 0).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than every time reachable in a simulation.
+    pub const FAR_FUTURE: SimTime = SimTime(f64::INFINITY);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN.
+    #[inline]
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "SimTime must not be NaN");
+        SimTime(secs)
+    }
+
+    /// The time as seconds.
+    #[inline]
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// `self - earlier` as a duration in seconds.
+    #[inline]
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// The later of two times.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other < self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    #[inline]
+    fn add(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::ZERO < SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_secs(3.5) + 1.25;
+        assert_eq!(t.as_secs(), 4.75);
+        assert_eq!(t - SimTime::from_secs(4.0), 0.75);
+        assert_eq!(t.since(SimTime::ZERO), 4.75);
+    }
+
+    #[test]
+    fn negative_times_are_allowed() {
+        let t = SimTime::from_secs(-2.5);
+        assert!(t < SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.since(t), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += 0.5;
+        t += 0.5;
+        assert_eq!(t.as_secs(), 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! `strip-workload` — workload generation for the SIGMOD 1995
+//! update-streams reproduction.
+//!
+//! * [`generators`] — the paper's Poisson update stream (Table 1) and
+//!   transaction stream (Table 2), with independent RNG sub-streams per
+//!   stochastic process.
+//! * [`scenarios`] — presets for the paper's three motivating domains:
+//!   program trading, plant control, telecommunications.
+//! * [`trace`] — capture/replay of materialised workloads.
+//! * [`run_paper_sim`] — one-call entry point: build both generators from a
+//!   [`SimConfig`] and run the full simulation.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod generators;
+pub mod scenarios;
+pub mod trace;
+
+pub use generators::{PeriodicUpdates, PoissonTxns, PoissonUpdates, UpdateStream};
+pub use trace::Trace;
+
+use strip_core::config::SimConfig;
+use strip_core::controller::run_simulation;
+use strip_core::report::RunReport;
+
+/// Runs one simulation of `cfg` with the paper's Poisson workload model.
+///
+/// # Example
+///
+/// ```
+/// use strip_core::config::{Policy, SimConfig};
+/// use strip_workload::run_paper_sim;
+///
+/// let cfg = SimConfig::builder()
+///     .policy(Policy::OnDemand)
+///     .duration(5.0)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// let report = run_paper_sim(&cfg);
+/// assert!(report.txns.arrived > 0);
+/// assert!(report.cpu.utilization() > 0.0);
+/// ```
+#[must_use]
+pub fn run_paper_sim(cfg: &SimConfig) -> RunReport {
+    run_simulation(
+        cfg,
+        generators::UpdateStream::from_config(cfg),
+        PoissonTxns::from_config(cfg),
+    )
+}

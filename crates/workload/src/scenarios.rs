@@ -1,0 +1,123 @@
+//! Scenario presets.
+//!
+//! The paper motivates the update-stream problem with three application
+//! domains (§1–§2). These presets capture each as a ready-to-run
+//! configuration so the examples and downstream users start from sensible,
+//! documented parameter sets rather than raw numbers.
+
+use strip_core::config::{Policy, QueuePolicy, SimConfig};
+use strip_db::staleness::StalenessSpec;
+
+/// Program trading (the paper's primary motivation, §1): a large universe
+/// of financial instruments with a heavy update stream; transactions are
+/// arbitrage checks whose value is the profit of the trade. Stale data
+/// means wrong trades, so staleness is tracked, but transactions complete
+/// (a human confirms the trade — "red light" semantics).
+#[must_use]
+pub fn program_trading(policy: Policy, seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .seed(seed)
+        // Heavy market feed: the paper cites up to 500 updates/second peak.
+        .lambda_u(500.0)
+        .p_update_low(0.6)
+        .mean_update_age(0.05)
+        .n_low(700)
+        .n_high(300)
+        // Trading opportunities arrive briskly and expire fast.
+        .lambda_t(12.0)
+        .p_txn_low(0.5)
+        .slack_min(0.05)
+        .slack_max(0.5)
+        .values(1.0, 0.5, 3.0, 1.0)
+        .reads_mean(3.0)
+        .reads_sd(1.0)
+        .max_age(5.0)
+        .compute_mean(0.08)
+        .compute_sd(0.01)
+        .build()
+        .expect("program trading preset is valid")
+}
+
+/// Plant control (§2's MA example): sensors report periodically; a reading
+/// that has not been refreshed recently is suspect, and controllers abort
+/// actions based on stale inputs. Maximum Age staleness with aborts.
+#[must_use]
+pub fn plant_control(policy: Policy, seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .seed(seed)
+        // Refresh rates comfortably beat the 3 s maximum age (0.5/s per bulk
+        // sensor, 1.5/s per critical sensor) so staleness is driven by the
+        // scheduler, not by the feed.
+        .lambda_u(300.0)
+        .p_update_low(0.5)
+        .mean_update_age(0.02)
+        .n_low(300)
+        .n_high(100)
+        // Offered load well above capacity: the regime where schedulers differ.
+        .lambda_t(14.0)
+        .slack_min(0.2)
+        .slack_max(2.0)
+        .values(1.0, 0.2, 2.0, 0.4)
+        .reads_mean(4.0)
+        .reads_sd(2.0)
+        .max_age(3.0)
+        .compute_mean(0.1)
+        .compute_sd(0.02)
+        .abort_on_stale(true)
+        .build()
+        .expect("plant control preset is valid")
+}
+
+/// Telecommunications server (§2's UU example): call-state updates arrive
+/// reliably and fast, so data is fresh unless an update is sitting
+/// unapplied — Unapplied Update staleness, no periodic re-notification.
+#[must_use]
+pub fn telecom(policy: Policy, seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .seed(seed)
+        .staleness(StalenessSpec::UnappliedUpdate)
+        .lambda_u(300.0)
+        .p_update_low(0.5)
+        .mean_update_age(0.005)
+        .n_low(500)
+        .n_high(500)
+        .lambda_t(8.0)
+        .slack_min(0.1)
+        .slack_max(1.0)
+        .reads_mean(2.0)
+        .reads_sd(1.0)
+        .compute_mean(0.1)
+        .compute_sd(0.01)
+        .queue_policy(QueuePolicy::Lifo)
+        .build()
+        .expect("telecom preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for policy in Policy::PAPER_SET {
+            assert!(program_trading(policy, 1).validate().is_ok());
+            assert!(plant_control(policy, 1).validate().is_ok());
+            assert!(telecom(policy, 1).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn presets_have_advertised_semantics() {
+        let t = telecom(Policy::OnDemand, 1);
+        assert_eq!(t.staleness, StalenessSpec::UnappliedUpdate);
+        let p = plant_control(Policy::UpdatesFirst, 1);
+        assert!(p.abort_on_stale);
+        assert!(matches!(p.staleness, StalenessSpec::MaxAge { alpha } if alpha == 3.0));
+        let g = program_trading(Policy::SplitUpdates, 1);
+        assert!(!g.abort_on_stale);
+        assert_eq!(g.lambda_u, 500.0);
+    }
+}

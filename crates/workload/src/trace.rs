@@ -1,0 +1,133 @@
+//! Workload traces: capture a generated workload for exact replay.
+//!
+//! Useful for regression tests (replay the identical arrival sequence
+//! against two configurations) and for serialising interesting workloads.
+
+use serde::{Deserialize, Serialize};
+use strip_core::sources::{ScriptedTxns, ScriptedUpdates, TxnSource, UpdateSource, UpdateSpec};
+use strip_core::txn::TxnSpec;
+
+/// A fully materialised workload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Update arrivals in order.
+    pub updates: Vec<SerializableUpdate>,
+    /// Transaction arrivals in order.
+    pub txns: Vec<TxnSpec>,
+}
+
+/// Serde-friendly mirror of [`UpdateSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SerializableUpdate {
+    /// Arrival time (seconds).
+    pub arrival: f64,
+    /// Generation timestamp (seconds).
+    pub generation_ts: f64,
+    /// Target object.
+    pub object: strip_db::object::ViewObjectId,
+    /// New value.
+    pub payload: f64,
+    /// Attribute mask (`u64::MAX` = complete).
+    pub attr_mask: u64,
+}
+
+impl From<UpdateSpec> for SerializableUpdate {
+    fn from(u: UpdateSpec) -> Self {
+        SerializableUpdate {
+            arrival: u.arrival.as_secs(),
+            generation_ts: u.generation_ts.as_secs(),
+            object: u.object,
+            payload: u.payload,
+            attr_mask: u.attr_mask,
+        }
+    }
+}
+
+impl From<&SerializableUpdate> for UpdateSpec {
+    fn from(u: &SerializableUpdate) -> Self {
+        UpdateSpec {
+            arrival: strip_sim::time::SimTime::from_secs(u.arrival),
+            generation_ts: strip_sim::time::SimTime::from_secs(u.generation_ts),
+            object: u.object,
+            payload: u.payload,
+            attr_mask: u.attr_mask,
+        }
+    }
+}
+
+impl Trace {
+    /// Materialises a trace by exhausting the given sources.
+    pub fn capture<U: UpdateSource, T: TxnSource>(mut updates: U, mut txns: T) -> Self {
+        let mut trace = Trace::default();
+        while let Some(u) = updates.next_update() {
+            trace.updates.push(u.into());
+        }
+        while let Some(t) = txns.next_txn() {
+            trace.txns.push(t);
+        }
+        trace
+    }
+
+    /// Builds replayable sources over this trace.
+    #[must_use]
+    pub fn replay(&self) -> (ScriptedUpdates, ScriptedTxns) {
+        let updates = self.updates.iter().map(UpdateSpec::from).collect();
+        (
+            ScriptedUpdates::new(updates),
+            ScriptedTxns::new(self.txns.clone()),
+        )
+    }
+
+    /// Number of arrivals of each kind.
+    #[must_use]
+    pub fn len(&self) -> (usize, usize) {
+        (self.updates.len(), self.txns.len())
+    }
+
+    /// True when the trace holds no arrivals at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty() && self.txns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{PoissonTxns, PoissonUpdates};
+    use strip_core::config::SimConfig;
+
+    #[test]
+    fn capture_replay_round_trip() {
+        let cfg = SimConfig::builder().duration(5.0).seed(3).build().unwrap();
+        let trace = Trace::capture(
+            PoissonUpdates::from_config(&cfg),
+            PoissonTxns::from_config(&cfg),
+        );
+        assert!(!trace.is_empty());
+        let (mut u, mut t) = trace.replay();
+        let mut u_count = 0;
+        while u.next_update().is_some() {
+            u_count += 1;
+        }
+        let mut t_count = 0;
+        while t.next_txn().is_some() {
+            t_count += 1;
+        }
+        assert_eq!((u_count, t_count), trace.len());
+    }
+
+    #[test]
+    fn replay_reproduces_simulation_results() {
+        let cfg = SimConfig::builder().duration(5.0).seed(9).build().unwrap();
+        let trace = Trace::capture(
+            PoissonUpdates::from_config(&cfg),
+            PoissonTxns::from_config(&cfg),
+        );
+        let (u1, t1) = trace.replay();
+        let (u2, t2) = trace.replay();
+        let r1 = strip_core::controller::run_simulation(&cfg, u1, t1);
+        let r2 = strip_core::controller::run_simulation(&cfg, u2, t2);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Market analytics desk: the full STRIP service stack on one feed.
+//!
+//! Beyond the paper's baseline this exercises three extensions at once:
+//!
+//! * **historical views** — quants issue as-of price reads ("what was this
+//!   instrument worth 10 seconds ago?");
+//! * **update-triggered rules** — composite indices derived from baskets of
+//!   instruments, recomputed when a constituent ticks;
+//! * **the hash-indexed update queue** — keeping OD's on-demand refreshes
+//!   cheap under a fast feed.
+//!
+//! ```text
+//! cargo run --release --example market_analytics
+//! ```
+
+use strip::core::config::{HistoryAccess, Policy, SimConfig, TriggerConfig};
+use strip::db::history::HistoryPolicy;
+use strip::run_paper_sim;
+
+fn desk_config(policy: Policy) -> SimConfig {
+    let mut cfg = SimConfig::builder()
+        .policy(policy)
+        .lambda_u(450.0)
+        .lambda_t(10.0)
+        .n_low(600)
+        .n_high(400)
+        .values(1.0, 0.5, 2.5, 0.8)
+        .duration(120.0)
+        .seed(2026)
+        .indexed_queue(true)
+        .build()
+        .expect("desk config");
+    cfg.history = Some(HistoryAccess {
+        policy: HistoryPolicy {
+            retention_secs: 30.0,
+            max_entries_per_object: 512,
+        },
+        p_historical_read: 0.25,
+        lag_min: 1.0,
+        lag_max: 20.0,
+    });
+    cfg.triggers = Some(TriggerConfig {
+        n_rules: 300,        // composite indices
+        sources_per_rule: 6, // constituents per index
+        exec_instr: 20_000.0,
+        max_pending: 2_000,
+    });
+    cfg
+}
+
+fn main() {
+    println!("market analytics desk — feeds, as-of reads, composite indices\n");
+    println!(
+        "{:<6}{:>9}{:>9}{:>10}{:>10}{:>11}{:>10}{:>10}",
+        "sched", "value/s", "psucc", "as-of", "miss %", "idx exec", "idx lag", "queue"
+    );
+    for policy in Policy::PAPER_SET {
+        let r = run_paper_sim(&desk_config(policy));
+        println!(
+            "{:<6}{:>9.2}{:>9.3}{:>10}{:>10.1}{:>11}{:>10.2}{:>10}",
+            r.policy,
+            r.av(),
+            r.txns.p_success(),
+            r.history.historical_reads,
+            100.0 * r.history.miss_fraction(),
+            r.triggers.executed,
+            r.triggers.lag_mean,
+            r.updates.max_uq_len,
+        );
+    }
+    println!(
+        "\nreading the table: OD keeps the quants' live reads fresh (psucc) and the\n\
+         as-of misses low, but only UF keeps composite indices (rules) ticking —\n\
+         derived data needs update-side CPU that TF-family schedulers never grant\n\
+         under load. The paper's §7 'triggers' future work starts exactly here."
+    );
+}

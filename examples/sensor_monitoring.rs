@@ -1,0 +1,46 @@
+//! Plant control / sensor monitoring (the paper's §2 Maximum Age example).
+//!
+//! Sensors stream readings into the database; a control action computed
+//! from a reading older than the maximum age is dangerous, so transactions
+//! abort on stale input. This example contrasts the schedulers and shows
+//! why Split Updates — keeping the *critical* sensors fresh while letting
+//! bulk telemetry queue — is the paper's recommended compromise when OD is
+//! not applicable.
+//!
+//! ```text
+//! cargo run --release --example sensor_monitoring
+//! ```
+
+use strip::core::config::Policy;
+use strip::run_paper_sim;
+use strip::workload::scenarios::plant_control;
+
+fn main() {
+    const SECONDS: f64 = 120.0;
+    println!("plant control — abort on stale sensor reads, alpha = 3 s");
+    println!("{SECONDS} simulated seconds per scheduler\n");
+    println!(
+        "{:<10}{:>12}{:>14}{:>16}{:>16}{:>12}",
+        "scheduler", "actions ok", "stale aborts", "bulk stale %", "critical stale %", "value/s"
+    );
+    for policy in Policy::PAPER_SET {
+        let mut cfg = plant_control(policy, 11);
+        cfg.duration = SECONDS;
+        let r = run_paper_sim(&cfg);
+        println!(
+            "{:<10}{:>12}{:>14}{:>16.1}{:>16.1}{:>12.2}",
+            r.policy,
+            r.txns.committed,
+            r.txns.aborted_stale,
+            100.0 * r.fold_low,
+            100.0 * r.fold_high,
+            r.av(),
+        );
+    }
+    println!(
+        "\nSU matches UF's freshness on the critical (high-importance) sensors while\n\
+         beating TF on aborts — the paper's §6.2 compromise. OD commits the most value\n\
+         but only refreshes what is read, so unread sensors drift stale (its fold is\n\
+         a display metric, not a safety problem, because every *read* is refreshed)."
+    );
+}

@@ -1,0 +1,341 @@
+//! Integration tests for the implemented future-work extensions (paper §2
+//! and §7): periodic updates, partial updates, combined staleness, split
+//! update queue, historical views, triggered rules, and disk residency.
+
+use strip::core::config::{
+    HistoryAccess, IoModel, Policy, SimConfig, TriggerConfig, UpdateMode,
+};
+use strip::db::history::HistoryPolicy;
+use strip::run_paper_sim;
+use strip::RunReport;
+use strip::StalenessDef;
+
+fn base(policy: Policy, seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .duration(80.0)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn run(mutate: impl FnOnce(&mut SimConfig)) -> RunReport {
+    let mut cfg = base(Policy::UpdatesFirst, 0xE87);
+    mutate(&mut cfg);
+    run_paper_sim(&cfg)
+}
+
+#[test]
+fn periodic_refresh_eliminates_uf_staleness() {
+    // Per-object period 2.5 s < α = 7 s: a kept-up database is never stale.
+    let aperiodic = run(|c| c.policy = Policy::UpdatesFirst);
+    let periodic = run(|c| {
+        c.policy = Policy::UpdatesFirst;
+        c.update_mode = UpdateMode::Periodic { jitter_frac: 0.0 };
+    });
+    assert!(aperiodic.fold_low > 0.04, "Poisson tail: {}", aperiodic.fold_low);
+    assert!(periodic.fold_low < 0.005, "periodic: {}", periodic.fold_low);
+    // Aggregate update load is the same either way.
+    assert!((periodic.cpu.rho_u() - aperiodic.cpu.rho_u()).abs() < 0.01);
+}
+
+#[test]
+fn periodic_jitter_keeps_rates_but_perturbs_phase() {
+    let strict = run(|c| c.update_mode = UpdateMode::Periodic { jitter_frac: 0.0 });
+    let jittered = run(|c| c.update_mode = UpdateMode::Periodic { jitter_frac: 0.5 });
+    let ratio = jittered.updates.arrived as f64 / strict.updates.arrived as f64;
+    assert!((ratio - 1.0).abs() < 0.02, "arrival counts comparable: {ratio}");
+}
+
+#[test]
+fn partial_updates_raise_staleness_at_equal_arrival_rate() {
+    let complete = run(|c| {
+        c.attrs_per_object = 4;
+        c.p_partial_update = 0.0;
+    });
+    let partial = run(|c| {
+        c.attrs_per_object = 4;
+        c.p_partial_update = 1.0;
+    });
+    // One attribute per update = a quarter of the information rate: the
+    // oldest attribute governs MA staleness, so fold jumps.
+    assert!(
+        partial.fold_low > complete.fold_low + 0.3,
+        "partial {} vs complete {}",
+        partial.fold_low,
+        complete.fold_low
+    );
+    // ... while the update CPU bill *drops* (quarter-size writes).
+    assert!(partial.cpu.rho_u() < complete.cpu.rho_u());
+}
+
+#[test]
+fn either_criterion_is_at_least_as_strict_as_both() {
+    for policy in [Policy::UpdatesFirst, Policy::TransactionsFirst, Policy::OnDemand] {
+        let ma = run(|c| c.policy = policy);
+        let uu = run(|c| {
+            c.policy = policy;
+            c.staleness = StalenessDef::UnappliedUpdate;
+        });
+        let either = run(|c| {
+            c.policy = policy;
+            c.staleness = StalenessDef::Either { alpha: 7.0 };
+        });
+        let bound = ma.txns.p_success().min(uu.txns.p_success());
+        assert!(
+            either.txns.p_success() <= bound + 0.02,
+            "{policy:?}: either {} > min(MA {}, UU {})",
+            either.txns.p_success(),
+            ma.txns.p_success(),
+            uu.txns.p_success()
+        );
+    }
+}
+
+#[test]
+fn split_queue_protects_high_partition_for_tf() {
+    // The split queue matters when TF's residual install capacity can cover
+    // the high-importance stream *if prioritised* but not both partitions:
+    // 20% of 400/s = 80 high updates/s over 200 objects, against TF's
+    // ~160 installs/s of residual capacity at λt = 10.
+    let shape = |c: &mut SimConfig| {
+        c.policy = Policy::TransactionsFirst;
+        c.p_update_low = 0.8;
+        c.n_high = 200;
+    };
+    let plain = run(shape);
+    let split = run(|c| {
+        shape(c);
+        c.split_update_queue = true;
+    });
+    // With the split queue the scarce install slots go to high-importance
+    // updates first: fold_h improves dramatically; fold_l pays for it.
+    assert!(
+        split.fold_high < 0.5 * plain.fold_high,
+        "split fold_h {} vs plain {}",
+        split.fold_high,
+        plain.fold_high
+    );
+    assert!(split.fold_low >= plain.fold_low - 0.02);
+}
+
+#[test]
+fn history_misses_shrink_with_retention() {
+    let mk = |retention: f64| {
+        run(|c| {
+            c.policy = Policy::OnDemand;
+            c.history = Some(HistoryAccess {
+                policy: HistoryPolicy {
+                    retention_secs: retention,
+                    max_entries_per_object: 4096,
+                },
+                p_historical_read: 0.3,
+                lag_min: 0.0,
+                lag_max: 20.0,
+            });
+        })
+    };
+    let short = mk(2.0);
+    let long = mk(40.0);
+    assert!(short.history.historical_reads > 50);
+    assert!(
+        long.history.miss_fraction() < short.history.miss_fraction() - 0.1,
+        "long {} vs short {}",
+        long.history.miss_fraction(),
+        short.history.miss_fraction()
+    );
+    assert!(long.history.entries_at_end > short.history.entries_at_end);
+    // Chain length is bounded: appends = pruned + retained.
+    assert_eq!(
+        long.history.appends,
+        long.history.pruned + long.history.entries_at_end
+    );
+}
+
+#[test]
+fn triggers_starve_under_tf_but_run_under_uf() {
+    let mk = |policy| {
+        run(|c| {
+            c.policy = policy;
+            c.lambda_t = 12.0;
+            c.triggers = Some(TriggerConfig {
+                n_rules: 500,
+                sources_per_rule: 3,
+                exec_instr: 10_000.0,
+                max_pending: 5_000,
+            });
+        })
+    };
+    let tf = mk(Policy::TransactionsFirst);
+    let uf = mk(Policy::UpdatesFirst);
+    assert!(tf.triggers.fired > 0 && uf.triggers.fired > 0);
+    let tf_rate = tf.triggers.executed as f64 / tf.triggers.fired as f64;
+    let uf_rate = uf.triggers.executed as f64 / uf.triggers.fired as f64;
+    assert!(
+        uf_rate > 5.0 * tf_rate.max(1e-6),
+        "UF executes rules ({uf_rate:.4}) far more than TF ({tf_rate:.4})"
+    );
+    // Conservation under both.
+    for r in [&tf, &uf] {
+        assert_eq!(
+            r.triggers.fired,
+            r.triggers.executed + r.triggers.coalesced + r.triggers.dropped + r.triggers.pending_at_end
+        );
+    }
+}
+
+#[test]
+fn disk_residency_hurts_uf_more_than_od() {
+    let mk = |policy, io: bool| {
+        run(|c| {
+            c.policy = policy;
+            if io {
+                c.io = Some(IoModel {
+                    hit_ratio: 0.85,
+                    x_io: 100_000.0,
+                });
+            }
+        })
+    };
+    let uf_mem = mk(Policy::UpdatesFirst, false);
+    let uf_disk = mk(Policy::UpdatesFirst, true);
+    let od_mem = mk(Policy::OnDemand, false);
+    let od_disk = mk(Policy::OnDemand, true);
+    let uf_loss = uf_mem.av() - uf_disk.av();
+    let od_loss = od_mem.av() - od_disk.av();
+    // UF pays the install-side misses for all 400 updates/s; OD installs
+    // (and therefore misses) far less under load.
+    assert!(
+        uf_loss > od_loss + 0.3,
+        "UF loss {uf_loss:.2} vs OD loss {od_loss:.2}"
+    );
+    assert!(
+        uf_disk.cpu.io_misses_installs > 2 * od_disk.cpu.io_misses_installs.max(1),
+        "UF misses {} vs OD misses {}",
+        uf_disk.cpu.io_misses_installs,
+        od_disk.cpu.io_misses_installs
+    );
+}
+
+#[test]
+fn hot_first_beats_fifo_under_skewed_reads() {
+    use strip::core::config::QueuePolicy;
+    let mk = |qp: QueuePolicy| {
+        run(|c| {
+            c.policy = Policy::TransactionsFirst;
+            c.read_skew = 1.0;
+            c.queue_policy = qp;
+        })
+    };
+    let fifo = mk(QueuePolicy::Fifo);
+    let hot = mk(QueuePolicy::HotFirst);
+    assert!(
+        hot.txns.p_success() > 2.0 * fifo.txns.p_success(),
+        "HotFirst {} vs FIFO {}",
+        hot.txns.p_success(),
+        fifo.txns.p_success()
+    );
+    // Deadline behaviour is untouched — only install order changes.
+    assert!((hot.txns.p_md() - fifo.txns.p_md()).abs() < 0.03);
+}
+
+#[test]
+fn hot_first_under_uniform_reads_reduces_to_a_lifo_like_discipline() {
+    use strip::core::config::QueuePolicy;
+    let mk = |qp: QueuePolicy| {
+        run(|c| {
+            c.policy = Policy::TransactionsFirst;
+            c.queue_policy = qp;
+        })
+    };
+    let fifo = mk(QueuePolicy::Fifo);
+    let lifo = mk(QueuePolicy::Lifo);
+    let hot = mk(QueuePolicy::HotFirst);
+    // With uniform access there is no heat to exploit, but HotFirst still
+    // installs each object's *newest* pending update, so it behaves like a
+    // per-object LIFO: never worse than FIFO, at most LIFO-grade.
+    assert!(hot.txns.p_success() >= fifo.txns.p_success() - 0.02);
+    assert!(
+        hot.txns.p_success() <= lifo.txns.p_success() + 0.08,
+        "HotFirst {} vs LIFO {}",
+        hot.txns.p_success(),
+        lifo.txns.p_success()
+    );
+}
+
+#[test]
+fn burst_collapses_and_releases_psuccess() {
+    use strip::core::config::BurstSpec;
+    let r = run(|c| {
+        c.policy = Policy::OnDemand;
+        c.lambda_t = 6.0;
+        c.duration = 240.0;
+        c.lambda_t_burst = Some(BurstSpec {
+            from: 80.0,
+            until: 160.0,
+            factor: 4.0,
+        });
+        c.timeline_window = Some(20.0);
+    });
+    assert_eq!(r.timeline.len(), 12, "12 windows of 20 s");
+    let mean = |range: std::ops::Range<usize>| {
+        let ws = &r.timeline[range];
+        ws.iter().map(strip::core::report::TimelineWindow::p_success).sum::<f64>() / ws.len() as f64
+    };
+    let pre = mean(0..4);
+    let during = mean(4..8);
+    let post = mean(9..12); // skip the first recovery window
+    assert!(pre > during + 0.2, "pre {pre} vs during {during}");
+    assert!(post > during + 0.2, "post {post} vs during {during}");
+    // Timeline totals reconcile with the aggregate counters.
+    let finished: u64 = r.timeline.iter().map(|w| w.finished).sum();
+    assert_eq!(finished, r.txns.finished());
+    let committed: u64 = r.timeline.iter().map(|w| w.committed).sum();
+    assert_eq!(committed, r.txns.committed);
+}
+
+#[test]
+fn fixed_fraction_tracks_its_target_share() {
+    // Offered txn load ≈ 0.6; update stream needs 0.19. With a 0.4 target,
+    // the update side gets at least its natural demand and the achieved
+    // update share must sit near max(demand, target-constrained) bounds.
+    let cfg = SimConfig::builder()
+        .policy(Policy::FixedFraction { fraction: 0.4 })
+        .lambda_t(5.0)
+        .duration(60.0)
+        .seed(3)
+        .build()
+        .unwrap();
+    let r = run_paper_sim(&cfg);
+    let share = r.cpu.rho_u() / r.cpu.utilization();
+    assert!(
+        share > 0.19 && share < 0.45,
+        "update share {share} (rho_u {}, util {})",
+        r.cpu.rho_u(),
+        r.cpu.utilization()
+    );
+    assert!(r.txns.p_md() < 0.2, "txns still mostly make it");
+}
+
+#[test]
+fn extensions_compose_in_one_run() {
+    // Everything on at once: a smoke test that the subsystems do not
+    // interfere with each other's accounting.
+    let r = run(|c| {
+        c.policy = Policy::OnDemand;
+        c.update_mode = UpdateMode::Periodic { jitter_frac: 0.2 };
+        c.split_update_queue = true;
+        c.indexed_queue = true;
+        c.history = Some(HistoryAccess::default());
+        c.triggers = Some(TriggerConfig::default());
+        c.io = Some(IoModel::default());
+    });
+    assert!(r.txns.arrived > 0);
+    assert_eq!(r.txns.finished() + r.txns.in_flight_at_end, r.txns.arrived);
+    assert_eq!(r.updates.terminal_total(), r.updates.arrived);
+    assert!(r.cpu.utilization() <= 1.0 + 1e-9);
+    assert_eq!(
+        r.triggers.fired,
+        r.triggers.executed + r.triggers.coalesced + r.triggers.dropped + r.triggers.pending_at_end
+    );
+}

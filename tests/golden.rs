@@ -1,0 +1,63 @@
+//! Golden regression tests: the simulator is bit-for-bit deterministic, so
+//! these pin exact outputs for one seed per policy. A failure here means a
+//! behavioural change — if intentional, regenerate the constants (the test
+//! comment shows how) and account for the change in EXPERIMENTS.md, since
+//! every reproduced figure shifts with it.
+
+use strip::core::config::{Policy, SimConfig};
+use strip::run_paper_sim;
+
+/// (policy, arrived, committed, committed_fresh, installed, updates_arrived,
+/// value_committed, fold_low, fold_high) at λt = 12, 50 s, seed 0x601D.
+type GoldenRow = (&'static str, u64, u64, u64, u64, u64, f64, f64, f64);
+
+const GOLDEN: [GoldenRow; 4] = [
+    ("UF", 582, 329, 278, 19516, 19944, 612.197719, 0.060291, 0.068052),
+    ("TF", 582, 399, 84, 4793, 19944, 708.263994, 0.791600, 0.795844),
+    ("SU", 582, 365, 223, 12807, 19944, 666.281404, 0.756990, 0.068051),
+    ("OD", 582, 395, 335, 5473, 19944, 703.014093, 0.748107, 0.734594),
+];
+
+#[test]
+fn golden_outputs_are_stable() {
+    for (policy, golden) in Policy::PAPER_SET.iter().zip(GOLDEN) {
+        let cfg = SimConfig::builder()
+            .policy(*policy)
+            .lambda_t(12.0)
+            .duration(50.0)
+            .seed(0x601D)
+            .build()
+            .unwrap();
+        let r = run_paper_sim(&cfg);
+        assert_eq!(r.policy, golden.0);
+        assert_eq!(r.txns.arrived, golden.1, "{}: arrived", golden.0);
+        assert_eq!(r.txns.committed, golden.2, "{}: committed", golden.0);
+        assert_eq!(r.txns.committed_fresh, golden.3, "{}: fresh", golden.0);
+        assert_eq!(r.updates.installed_total(), golden.4, "{}: installed", golden.0);
+        assert_eq!(r.updates.arrived, golden.5, "{}: updates arrived", golden.0);
+        assert!(
+            (r.txns.value_committed - golden.6).abs() < 1e-6,
+            "{}: value {} vs {}",
+            golden.0,
+            r.txns.value_committed,
+            golden.6
+        );
+        assert!(
+            (r.fold_low - golden.7).abs() < 1e-6,
+            "{}: fold_low {} vs {}",
+            golden.0,
+            r.fold_low,
+            golden.7
+        );
+        assert!(
+            (r.fold_high - golden.8).abs() < 1e-6,
+            "{}: fold_high {} vs {}",
+            golden.0,
+            r.fold_high,
+            golden.8
+        );
+    }
+}
+// To regenerate after an intentional change:
+//   run each policy at λt = 12, 50 s, seed 0x601D and print the nine fields
+//   (see git history for the scratch generator), then update GOLDEN.
