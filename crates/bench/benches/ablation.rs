@@ -25,27 +25,44 @@ fn run(mutate: impl FnOnce(&mut SimConfig)) -> strip_core::report::RunReport {
 }
 
 fn main() {
-    println!("# ablations — {} simulated seconds per point, lambda_t = 15\n", default_duration());
+    println!(
+        "# ablations — {} simulated seconds per point, lambda_t = 15\n",
+        default_duration()
+    );
 
     println!("== fixed CPU fraction for updates (paper §7 future work) ==");
-    println!("{:<22}{:>10}{:>10}{:>10}{:>10}", "policy", "AV", "psucc", "pMD", "fold_h");
+    println!(
+        "{:<22}{:>10}{:>10}{:>10}{:>10}",
+        "policy", "AV", "psucc", "pMD", "fold_h"
+    );
     for policy in Policy::PAPER_SET {
         let r = run(|c| c.policy = policy);
         println!(
             "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
-            policy.label(), r.av(), r.txns.p_success(), r.txns.p_md(), r.fold_high
+            policy.label(),
+            r.av(),
+            r.txns.p_success(),
+            r.txns.p_md(),
+            r.fold_high
         );
     }
     for frac in [0.05, 0.1, 0.19, 0.3, 0.5] {
         let r = run(|c| c.policy = Policy::FixedFraction { fraction: frac });
         println!(
             "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
-            format!("FX(fraction={frac})"), r.av(), r.txns.p_success(), r.txns.p_md(), r.fold_high
+            format!("FX(fraction={frac})"),
+            r.av(),
+            r.txns.p_success(),
+            r.txns.p_md(),
+            r.fold_high
         );
     }
 
     println!("\n== hash-indexed update queue under heavy scan cost (OD) ==");
-    println!("{:<28}{:>10}{:>12}{:>12}", "variant", "AV", "psucc", "max queue");
+    println!(
+        "{:<28}{:>10}{:>12}{:>12}",
+        "variant", "AV", "psucc", "max queue"
+    );
     for (label, x_scan, indexed) in [
         ("baseline", 0.0, false),
         ("x_scan=10k, plain", 10_000.0, false),
@@ -58,7 +75,10 @@ fn main() {
         });
         println!(
             "{:<28}{:>10.2}{:>12.3}{:>12}",
-            label, r.av(), r.txns.p_success(), r.updates.max_uq_len
+            label,
+            r.av(),
+            r.txns.p_success(),
+            r.updates.max_uq_len
         );
     }
 
@@ -66,7 +86,10 @@ fn main() {
     // importance (installing high first) recover SU's high-partition
     // freshness without SU's arrival preemptions?
     println!("\n== split update queue (paper §4.2 'future study') ==");
-    println!("{:<22}{:>10}{:>10}{:>10}{:>10}", "variant", "AV", "psucc", "fold_l", "fold_h");
+    println!(
+        "{:<22}{:>10}{:>10}{:>10}{:>10}",
+        "variant", "AV", "psucc", "fold_l", "fold_h"
+    );
     for (label, policy, split) in [
         ("TF", Policy::TransactionsFirst, false),
         ("TF + split queue", Policy::TransactionsFirst, true),
@@ -80,7 +103,11 @@ fn main() {
         });
         println!(
             "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
-            label, r.av(), r.txns.p_success(), r.fold_low, r.fold_high
+            label,
+            r.av(),
+            r.txns.p_success(),
+            r.fold_low,
+            r.fold_high
         );
     }
     // At the balanced baseline TF has almost no install capacity to
@@ -98,7 +125,11 @@ fn main() {
         });
         println!(
             "{:<22}{:>10.2}{:>10.3}{:>10.3}{:>10.3}",
-            label, r.av(), r.txns.p_success(), r.fold_low, r.fold_high
+            label,
+            r.av(),
+            r.txns.p_success(),
+            r.fold_low,
+            r.fold_high
         );
     }
 
@@ -108,12 +139,19 @@ fn main() {
             c.policy = Policy::TransactionsFirst;
             c.txn_preemption = preempt;
         });
-        println!("{label:<28} AV {:>7.2}  pMD {:.3}  mean response {:.3}s",
-            r.av(), r.txns.p_md(), r.txns.response_mean);
+        println!(
+            "{label:<28} AV {:>7.2}  pMD {:.3}  mean response {:.3}s",
+            r.av(),
+            r.txns.p_md(),
+            r.txns.response_mean
+        );
     }
 
     println!("\n== feasible-deadline scheduling ==");
-    for (label, feasible) in [("feasible_dl = true (paper)", true), ("feasible_dl = false", false)] {
+    for (label, feasible) in [
+        ("feasible_dl = true (paper)", true),
+        ("feasible_dl = false", false),
+    ] {
         let r = run(|c| {
             c.policy = Policy::OnDemand;
             c.feasible_deadline = feasible;

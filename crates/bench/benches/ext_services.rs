@@ -60,7 +60,11 @@ fn main() {
         "{:<6}{:>9}{:>10}{:>12}{:>12}{:>12}{:>12}{:>10}",
         "", "n_rules", "fired", "executed", "coalesced", "lag_mean", "pMD", "AV"
     );
-    for policy in [Policy::TransactionsFirst, Policy::UpdatesFirst, Policy::OnDemand] {
+    for policy in [
+        Policy::TransactionsFirst,
+        Policy::UpdatesFirst,
+        Policy::OnDemand,
+    ] {
         for n_rules in [0u32, 1_000] {
             let mut cfg = base(policy);
             if n_rules > 0 {

@@ -81,10 +81,26 @@ fn main() {
     println!("\n== access-driven installs under Zipf(1.0) reads (λt = 10) ==");
     println!("{:<22}{:>12}{:>12}{:>12}", "variant", "psucc", "pMD", "AV");
     for (label, policy, qp) in [
-        ("TF + FIFO", Policy::TransactionsFirst, strip_core::config::QueuePolicy::Fifo),
-        ("TF + LIFO", Policy::TransactionsFirst, strip_core::config::QueuePolicy::Lifo),
-        ("TF + HotFirst", Policy::TransactionsFirst, strip_core::config::QueuePolicy::HotFirst),
-        ("OD + FIFO", Policy::OnDemand, strip_core::config::QueuePolicy::Fifo),
+        (
+            "TF + FIFO",
+            Policy::TransactionsFirst,
+            strip_core::config::QueuePolicy::Fifo,
+        ),
+        (
+            "TF + LIFO",
+            Policy::TransactionsFirst,
+            strip_core::config::QueuePolicy::Lifo,
+        ),
+        (
+            "TF + HotFirst",
+            Policy::TransactionsFirst,
+            strip_core::config::QueuePolicy::HotFirst,
+        ),
+        (
+            "OD + FIFO",
+            Policy::OnDemand,
+            strip_core::config::QueuePolicy::Fifo,
+        ),
     ] {
         let mut cfg = base(policy);
         cfg.read_skew = 1.0;

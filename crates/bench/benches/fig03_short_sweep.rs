@@ -1,0 +1,35 @@
+//! Timed end-to-end short sweep over the Figure 03 grid: four policies ×
+//! three λt points, each run individually wall-clocked. Prints per-point
+//! wall time, events/sec, and update-queue ops/sec. `REPRO_SECONDS`
+//! controls the simulated seconds per point (default 20).
+//!
+//! For the machine-readable version (plus the paired old-vs-new micro
+//! measurements and the seed wall-clock estimate) run the `perf_harness`
+//! binary, which writes `BENCH_1.json`.
+
+use strip_bench::perf;
+
+fn main() {
+    let duration = perf::short_sweep_duration();
+    println!(
+        "# fig03 short sweep — {duration} simulated seconds per point (REPRO_SECONDS to override)"
+    );
+    let started = std::time::Instant::now();
+    let points = perf::fig03_short_sweep(duration);
+    for p in &points {
+        println!(
+            "{:<4} λt={:<5} wall {:>8.1} ms   {:>12.0} events/s   {:>12.0} uq-ops/s",
+            p.policy,
+            p.lambda_t,
+            p.wall_secs * 1e3,
+            p.events_per_sec(),
+            p.update_ops_per_sec(),
+        );
+    }
+    let total: f64 = points.iter().map(|p| p.wall_secs).sum();
+    println!(
+        "# sweep wall time: {:.1} ms ({:.1?} including setup)",
+        total * 1e3,
+        started.elapsed()
+    );
+}

@@ -7,8 +7,9 @@ use std::hint::black_box;
 use strip_db::object::{Importance, ViewObjectId};
 use strip_db::staleness::{StalenessSpec, StalenessTracker};
 use strip_db::update::Update;
+use strip_db::update_queue::reference::ReferenceUpdateQueue;
 use strip_db::update_queue::UpdateQueue;
-use strip_sim::event::EventQueue;
+use strip_sim::event::{reference, EventQueue};
 use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
 
@@ -103,6 +104,75 @@ fn bench_update_queue(c: &mut Criterion) {
     });
 }
 
+/// The seed data structures (`BinaryHeap` calendar, `BTreeMap`+`HashMap`
+/// update queue), preserved as in-repo reference implementations, measured
+/// on the same workloads as their slab/four-ary replacements above so the
+/// two sets of lines read as direct old-vs-new pairs.
+fn bench_seed_baselines(c: &mut Criterion) {
+    c.bench_function("seed_baseline/event_queue_push_pop_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter_batched(
+            || {
+                (0..1000)
+                    .map(|_| SimTime::from_secs(rng.next_f64() * 1000.0))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = reference::EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(*t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("seed_baseline/update_queue_insert_pop_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        b.iter_batched(
+            || {
+                (0..1000u64)
+                    .map(|i| upd(i, (rng.next_below(500)) as u32, rng.next_f64() * 100.0))
+                    .collect::<Vec<_>>()
+            },
+            |updates| {
+                let mut q = ReferenceUpdateQueue::new(5_600, false);
+                for u in updates {
+                    q.insert(u);
+                }
+                let mut n = 0;
+                while q.pop_oldest().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("seed_baseline/update_queue_indexed_insert_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        b.iter_batched(
+            || {
+                (0..1000u64)
+                    .map(|i| upd(i, (rng.next_below(100)) as u32, i as f64 * 0.01))
+                    .collect::<Vec<_>>()
+            },
+            |updates| {
+                let mut q = ReferenceUpdateQueue::new(5_600, true);
+                for u in updates {
+                    q.insert(u);
+                }
+                black_box(q.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 fn bench_rng(c: &mut Criterion) {
     c.bench_function("rng/next_f64", |b| {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
@@ -139,6 +209,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_update_queue,
+    bench_seed_baselines,
     bench_rng,
     bench_tracker
 );

@@ -1,0 +1,156 @@
+//! The repo's bench-gated perf harness: measures the slab update queue and
+//! the four-ary calendar against the preserved seed implementations on
+//! identical operation streams, times the Figure 03 end-to-end short sweep,
+//! and writes everything to a machine-readable JSON artefact (default
+//! `BENCH_1.json`; first CLI argument overrides the path).
+//!
+//! Knobs: `REPRO_SECONDS` sets the simulated seconds per sweep point
+//! (default 20); `PERF_MICRO_OPS` scales the micro-bench stream length
+//! (default 200 000 updates / 500 000 calendar holds ÷ proportionally).
+
+use std::fmt::Write as _;
+
+use strip_bench::perf::{
+    self, calendar_pair, estimated_seed_wall_secs, fig03_short_sweep, update_queue_pair,
+    PairResult, SweepPoint,
+};
+
+/// Serialises one paired measurement as a JSON object.
+fn pair_json(out: &mut String, indent: &str, p: &PairResult) {
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"name\": \"{}\",\n\
+         {indent}  \"ops\": {},\n\
+         {indent}  \"new_secs\": {:.6},\n\
+         {indent}  \"old_secs\": {:.6},\n\
+         {indent}  \"new_ops_per_sec\": {:.1},\n\
+         {indent}  \"old_ops_per_sec\": {:.1},\n\
+         {indent}  \"new_ns_per_op\": {:.2},\n\
+         {indent}  \"old_ns_per_op\": {:.2},\n\
+         {indent}  \"speedup\": {:.3}\n\
+         {indent}}}",
+        p.name,
+        p.ops,
+        p.new_secs,
+        p.old_secs,
+        p.new_ops_per_sec(),
+        p.old_ops_per_sec(),
+        p.new_ns_per_op(),
+        p.old_ns_per_op(),
+        p.speedup(),
+    );
+}
+
+/// Serialises one sweep point as a JSON object.
+fn point_json(out: &mut String, indent: &str, p: &SweepPoint) {
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"policy\": \"{}\",\n\
+         {indent}  \"lambda_t\": {},\n\
+         {indent}  \"wall_ms\": {:.3},\n\
+         {indent}  \"events\": {},\n\
+         {indent}  \"events_per_sec\": {:.1},\n\
+         {indent}  \"update_ops\": {},\n\
+         {indent}  \"update_ops_per_sec\": {:.1}\n\
+         {indent}}}",
+        p.policy,
+        p.lambda_t,
+        p.wall_secs * 1e3,
+        p.events,
+        p.events_per_sec(),
+        p.update_ops,
+        p.update_ops_per_sec(),
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    // Fail before the measurements, not after them, if the artefact path is
+    // unwritable.
+    if let Err(e) = std::fs::File::create(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    let scale = std::env::var("PERF_MICRO_OPS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(200_000);
+    let reps = 3;
+
+    eprintln!("# paired micro measurements ({scale} update ops, best of {reps}) …");
+    let uq_fifo = update_queue_pair(false, scale, reps);
+    let uq_dedup = update_queue_pair(true, scale, reps);
+    let calendar = calendar_pair(scale * 5 / 2, reps);
+    for p in [&uq_fifo, &uq_dedup, &calendar] {
+        eprintln!(
+            "{:<26} new {:>12.0} ops/s   old {:>12.0} ops/s   speedup {:>6.2}x",
+            p.name,
+            p.new_ops_per_sec(),
+            p.old_ops_per_sec(),
+            p.speedup(),
+        );
+    }
+
+    let duration = perf::short_sweep_duration();
+    eprintln!("# fig03 short sweep — {duration} simulated seconds per point …");
+    let points = fig03_short_sweep(duration);
+    let wall_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
+    let est_seed_secs = estimated_seed_wall_secs(&points, &uq_fifo, &calendar);
+    let est_speedup = est_seed_secs / wall_secs;
+    eprintln!(
+        "sweep wall {:.1} ms; estimated seed-structure wall {:.1} ms ({:.2}x)",
+        wall_secs * 1e3,
+        est_seed_secs * 1e3,
+        est_speedup,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"slab update queue + four-ary calendar vs preserved seed structures; fig03 short sweep\","
+    );
+    json.push_str("  \"micro_pairs\": [\n");
+    for (i, p) in [&uq_fifo, &uq_dedup, &calendar].into_iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        pair_json(&mut json, "    ", p);
+    }
+    json.push_str("\n  ],\n");
+    let _ = writeln!(json, "  \"fig03_short_sweep\": {{");
+    let _ = writeln!(json, "    \"simulated_secs_per_point\": {duration},");
+    let _ = writeln!(json, "    \"total_wall_ms\": {:.3},", wall_secs * 1e3);
+    json.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        point_json(&mut json, "      ", p);
+    }
+    json.push_str("\n    ]\n  },\n");
+    json.push_str("  \"seed_comparison\": {\n");
+    json.push_str(
+        "    \"method\": \"differential: measured sweep wall-clock plus (seed minus new) per-op \
+         cost from the paired micro runs, applied to each point's actual calendar and \
+         update-queue op counts\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "    \"estimated_seed_total_wall_ms\": {:.3},",
+        est_seed_secs * 1e3
+    );
+    let _ = writeln!(json, "    \"estimated_speedup\": {est_speedup:.3}");
+    json.push_str("  }\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+}

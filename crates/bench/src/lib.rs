@@ -9,11 +9,16 @@
 //!   (default: the paper's 1000 simulated seconds per point).
 //! * `micro_*` — criterion microbenchmarks of the substrate (event queue,
 //!   update queue, RNG, whole-simulator throughput).
+//! * `fig03_short_sweep` — the timed end-to-end short sweep behind the
+//!   `perf_harness` binary, which emits machine-readable `BENCH_*.json`
+//!   (see [`perf`]).
 //!
-//! This library crate only hosts shared helpers for those targets.
+//! This library crate hosts shared helpers for those targets.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod perf;
 
 use strip_experiments::{Campaign, FigureId, RunSettings};
 

@@ -1,0 +1,366 @@
+//! Measurement core of the repo's perf harness (the `perf_harness` binary
+//! and the `fig03_short_sweep` bench target).
+//!
+//! Two kinds of measurements live here:
+//!
+//! * **Paired micro throughput** — the slab-backed [`UpdateQueue`] against
+//!   the seed `BTreeMap`-based [`ReferenceUpdateQueue`], and the four-ary
+//!   [`EventQueue`] calendar against the seed `BinaryHeap` implementation.
+//!   Both sides of a pair are driven through the *same* pre-generated,
+//!   simulator-faithful operation stream (Poisson-spaced arrivals with
+//!   exponential generation ages; a hold-model calendar churn), so the ratio
+//!   is a clean old-vs-new speedup on the machine at hand.
+//! * **End-to-end short sweep** — the paper's Figure 03 grid (the four
+//!   policies × a λt sub-grid) at a short simulated duration, reporting
+//!   wall-clock, events/sec, and update enqueue+dequeue ops/sec per point.
+//!
+//! All timing is best-of-`reps` wall-clock (`std::time::Instant`); the
+//! criterion microbenches in `benches/micro_substrate.rs` cover the same
+//! structures with calibrated batching, while this module feeds the
+//! machine-readable `BENCH_*.json` artefacts.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use strip_core::config::{Policy, SimConfig};
+use strip_db::object::{Importance, ViewObjectId};
+use strip_db::update::Update;
+use strip_db::update_queue::reference::ReferenceUpdateQueue;
+use strip_db::update_queue::UpdateQueue;
+use strip_sim::event::{reference, EventQueue};
+use strip_sim::rng::Xoshiro256pp;
+use strip_sim::time::SimTime;
+use strip_workload::run_paper_sim;
+
+/// The paper's baseline update arrival rate (updates per simulated second).
+const LAMBDA_U: f64 = 400.0;
+/// The paper's baseline mean update age at arrival (seconds).
+const MEAN_AGE: f64 = 0.1;
+/// The paper's baseline `UQ_max` bound.
+const UQ_MAX: usize = 5_600;
+
+/// One old-vs-new paired measurement over an identical operation stream.
+#[derive(Debug, Clone, Copy)]
+pub struct PairResult {
+    /// What was measured (e.g. `"update_queue/fifo_churn"`).
+    pub name: &'static str,
+    /// Operations performed by each side of the pair.
+    pub ops: u64,
+    /// Best-of-reps wall seconds for the new (slab / four-ary) structure.
+    pub new_secs: f64,
+    /// Best-of-reps wall seconds for the seed reference structure.
+    pub old_secs: f64,
+}
+
+impl PairResult {
+    /// Throughput of the new structure, operations per second.
+    #[must_use]
+    pub fn new_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.new_secs
+    }
+
+    /// Throughput of the seed reference structure, operations per second.
+    #[must_use]
+    pub fn old_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.old_secs
+    }
+
+    /// Mean cost of one operation on the new structure, nanoseconds.
+    #[must_use]
+    pub fn new_ns_per_op(&self) -> f64 {
+        self.new_secs * 1e9 / self.ops as f64
+    }
+
+    /// Mean cost of one operation on the seed structure, nanoseconds.
+    #[must_use]
+    pub fn old_ns_per_op(&self) -> f64 {
+        self.old_secs * 1e9 / self.ops as f64
+    }
+
+    /// Old-over-new speedup (>1 means the new structure is faster).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.old_secs / self.new_secs
+    }
+}
+
+/// Times `f` `reps` times and keeps the fastest run (least scheduler noise).
+/// Returns `(best_secs, ops)` where `ops` is `f`'s (rep-invariant) count.
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        ops = f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (best, ops)
+}
+
+/// A simulator-faithful synthetic update stream: arrivals spaced 1/λu apart,
+/// generation timestamps lagging arrival by Exp(`MEAN_AGE`) ages, objects
+/// drawn uniformly from both importance classes.
+fn synthetic_updates(n: usize, objects: u64, seed: u64) -> Vec<Update> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let arrival = i as f64 / LAMBDA_U;
+            let age = -MEAN_AGE * rng.next_f64_open_zero().ln();
+            let class = if rng.chance(0.5) {
+                Importance::High
+            } else {
+                Importance::Low
+            };
+            let idx = rng.next_below(objects) as u32;
+            Update {
+                seq: i as u64,
+                object: ViewObjectId::new(class, idx),
+                generation_ts: SimTime::from_secs((arrival - age).max(0.0)),
+                arrival_ts: SimTime::from_secs(arrival),
+                payload: 0.0,
+                attr_mask: Update::COMPLETE,
+            }
+        })
+        .collect()
+}
+
+/// Drives one queue implementation through the enqueue/dequeue churn: every
+/// update is inserted, the queue is drained down whenever it exceeds the
+/// steady-state target, and the tail is popped out at the end. Returns the
+/// operation count (inserts + pops).
+macro_rules! drive_update_queue {
+    ($queue:expr, $updates:expr, $target:expr) => {{
+        let mut q = $queue;
+        let mut ops = 0u64;
+        for u in $updates {
+            black_box(q.insert(*u));
+            ops += 1;
+            if q.len() > $target {
+                black_box(q.pop_oldest());
+                ops += 1;
+            }
+        }
+        while black_box(q.pop_oldest()).is_some() {
+            ops += 1;
+        }
+        ops
+    }};
+}
+
+/// Paired update-queue churn: slab vs seed `BTreeMap`, identical streams.
+///
+/// With `dedup` the stream exercises the hash-index extension (per-object
+/// supersede); without it the plain generation-ordered FIFO path.
+#[must_use]
+pub fn update_queue_pair(dedup: bool, n: usize, reps: usize) -> PairResult {
+    let updates = synthetic_updates(n, 500, 0x51AB);
+    let target = 512usize;
+    let (new_secs, new_ops) = best_of(reps, || {
+        drive_update_queue!(UpdateQueue::new(UQ_MAX, dedup), &updates, target)
+    });
+    let (old_secs, old_ops) = best_of(reps, || {
+        drive_update_queue!(ReferenceUpdateQueue::new(UQ_MAX, dedup), &updates, target)
+    });
+    assert_eq!(new_ops, old_ops, "paired drives must perform identical ops");
+    PairResult {
+        name: if dedup {
+            "update_queue/dedup_churn"
+        } else {
+            "update_queue/fifo_churn"
+        },
+        ops: new_ops,
+        new_secs,
+        old_secs,
+    }
+}
+
+/// Drives one calendar implementation through the hold model: prefill a
+/// steady population, then repeatedly pop the minimum and reschedule it a
+/// small delta later. Returns the operation count (schedules + pops).
+macro_rules! drive_calendar {
+    ($queue:expr, $prefill:expr, $deltas:expr) => {{
+        let mut q = $queue;
+        let mut ops = 0u64;
+        for (i, t) in $prefill.iter().enumerate() {
+            q.schedule(*t, i as u64);
+            ops += 1;
+        }
+        for dt in $deltas {
+            let (t, id) = q.pop().expect("hold model keeps the calendar populated");
+            q.schedule(t + *dt, id);
+            ops += 2;
+        }
+        while black_box(q.pop()).is_some() {
+            ops += 1;
+        }
+        ops
+    }};
+}
+
+/// Paired calendar churn: four-ary heap vs seed `BinaryHeap`, identical
+/// hold-model streams at the simulator's steady-state population (one
+/// watchdog per object plus arrival sources ≈ 1.3k pending events).
+#[must_use]
+pub fn calendar_pair(holds: usize, reps: usize) -> PairResult {
+    let population = 1_256usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(0xCA1E);
+    let prefill: Vec<SimTime> = (0..population)
+        .map(|_| SimTime::from_secs(rng.next_f64()))
+        .collect();
+    let deltas: Vec<f64> = (0..holds)
+        .map(|_| 0.0025 * -rng.next_f64_open_zero().ln())
+        .collect();
+    let (new_secs, new_ops) = best_of(reps, || {
+        drive_calendar!(EventQueue::with_capacity(2 * population), &prefill, &deltas)
+    });
+    let (old_secs, old_ops) = best_of(reps, || {
+        drive_calendar!(reference::EventQueue::new(), &prefill, &deltas)
+    });
+    assert_eq!(new_ops, old_ops, "paired drives must perform identical ops");
+    PairResult {
+        name: "calendar/hold_model",
+        ops: new_ops,
+        new_secs,
+        old_secs,
+    }
+}
+
+/// One timed point of the Figure 03 short sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Policy label ("UF", "TF", "SU", "OD").
+    pub policy: &'static str,
+    /// Transaction arrival rate λt of this point.
+    pub lambda_t: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Discrete events the engine processed.
+    pub events: u64,
+    /// Calendar operations (each processed event was scheduled then popped).
+    pub calendar_ops: u64,
+    /// Update-queue operations: enqueues plus every dequeue path
+    /// (background installs, expiry, overflow, dedup removals).
+    pub update_ops: u64,
+}
+
+impl SweepPoint {
+    /// Simulator event throughput, events per wall second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+
+    /// Update-queue throughput, enqueue+dequeue ops per wall second.
+    #[must_use]
+    pub fn update_ops_per_sec(&self) -> f64 {
+        self.update_ops as f64 / self.wall_secs
+    }
+}
+
+/// The λt sub-grid of the short sweep (low, mid, and saturated load from
+/// the paper's Figure 03 grid).
+pub const FIG03_SHORT_GRID: [f64; 3] = [2.5, 10.0, 20.0];
+
+/// Simulated seconds per short-sweep point: `REPRO_SECONDS` when set, else
+/// 20 (a 50× cut of the paper's 1000 s, enough for stable throughput).
+#[must_use]
+pub fn short_sweep_duration() -> f64 {
+    std::env::var("REPRO_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|d| *d > 0.0)
+        .unwrap_or(20.0)
+}
+
+/// Runs the Figure 03 short sweep (four policies × [`FIG03_SHORT_GRID`]) at
+/// `duration` simulated seconds per point, timing each run individually.
+#[must_use]
+pub fn fig03_short_sweep(duration: f64) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &policy in &Policy::PAPER_SET {
+        for &lambda_t in &FIG03_SHORT_GRID {
+            let cfg = SimConfig::builder()
+                .policy(policy)
+                .lambda_t(lambda_t)
+                .duration(duration)
+                .seed(0x5712_1995)
+                .build()
+                .expect("fig03 short-sweep config is valid");
+            let started = Instant::now();
+            let report = run_paper_sim(&cfg);
+            let wall_secs = started.elapsed().as_secs_f64();
+            let dequeues = report.updates.installed_background
+                + report.updates.expired_dropped
+                + report.updates.overflow_dropped
+                + report.updates.dedup_dropped;
+            points.push(SweepPoint {
+                policy: policy.label(),
+                lambda_t,
+                wall_secs,
+                events: report.cpu.events_processed,
+                calendar_ops: report.cpu.events_processed * 2,
+                update_ops: report.updates.enqueued + dequeues,
+            });
+        }
+    }
+    points
+}
+
+/// Differential estimate of what the sweep would have cost on the seed
+/// structures: measured wall-clock plus the per-operation cost delta
+/// (reference minus slab / four-ary, from the paired micro measurements)
+/// applied to each point's actual operation counts. An estimate — the seed
+/// structures no longer run inside the simulator — but every term in it is
+/// measured on this machine in this process.
+#[must_use]
+pub fn estimated_seed_wall_secs(
+    points: &[SweepPoint],
+    update_queue: &PairResult,
+    calendar: &PairResult,
+) -> f64 {
+    points
+        .iter()
+        .map(|p| {
+            let extra_ns = (update_queue.old_ns_per_op() - update_queue.new_ns_per_op())
+                * p.update_ops as f64
+                + (calendar.old_ns_per_op() - calendar.new_ns_per_op()) * p.calendar_ops as f64;
+            p.wall_secs + extra_ns / 1e9
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_drives_agree_on_ops() {
+        let r = update_queue_pair(false, 2_000, 1);
+        assert!(r.ops > 2_000);
+        assert!(r.new_secs > 0.0 && r.old_secs > 0.0);
+        let d = update_queue_pair(true, 2_000, 1);
+        assert!(d.ops > 0);
+    }
+
+    #[test]
+    fn calendar_pair_runs() {
+        let r = calendar_pair(2_000, 1);
+        // prefill + 2×holds + drain
+        assert_eq!(r.ops, 1_256 + 2 * 2_000 + 1_256);
+        assert!(r.speedup().is_finite());
+    }
+
+    #[test]
+    fn short_sweep_produces_grid_points() {
+        let points = fig03_short_sweep(0.5);
+        assert_eq!(points.len(), 4 * FIG03_SHORT_GRID.len());
+        for p in &points {
+            assert!(p.wall_secs > 0.0);
+            assert!(p.events > 0);
+        }
+        let uq = update_queue_pair(false, 1_000, 1);
+        let cal = calendar_pair(1_000, 1);
+        let est = estimated_seed_wall_secs(&points, &uq, &cal);
+        assert!(est.is_finite());
+    }
+}

@@ -379,6 +379,16 @@ impl SimConfig {
         }
     }
 
+    /// Sizes the event calendar for this scenario so the engine never
+    /// reallocates mid-run. The steady-state calendar is dominated by the
+    /// per-object MA staleness watchdogs (up to one per view object), plus
+    /// in-flight transaction/update events and the arrival-source
+    /// self-scheduling; a small constant covers those.
+    #[must_use]
+    pub fn calendar_capacity_hint(&self) -> usize {
+        self.n_low as usize + self.n_high as usize + 256
+    }
+
     /// Validates parameter consistency.
     ///
     /// # Errors
@@ -393,13 +403,31 @@ impl SimConfig {
                 Err(ConfigError(what.to_string()))
             }
         }
-        check(self.lambda_u >= 0.0 && self.lambda_u.is_finite(), "lambda_u must be >= 0")?;
-        check(self.lambda_t >= 0.0 && self.lambda_t.is_finite(), "lambda_t must be >= 0")?;
-        check((0.0..=1.0).contains(&self.p_update_low), "p_update_low must be in [0,1]")?;
-        check((0.0..=1.0).contains(&self.p_txn_low), "p_txn_low must be in [0,1]")?;
-        check((0.0..=1.0).contains(&self.p_view), "p_view must be in [0,1]")?;
+        check(
+            self.lambda_u >= 0.0 && self.lambda_u.is_finite(),
+            "lambda_u must be >= 0",
+        )?;
+        check(
+            self.lambda_t >= 0.0 && self.lambda_t.is_finite(),
+            "lambda_t must be >= 0",
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.p_update_low),
+            "p_update_low must be in [0,1]",
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.p_txn_low),
+            "p_txn_low must be in [0,1]",
+        )?;
+        check(
+            (0.0..=1.0).contains(&self.p_view),
+            "p_view must be in [0,1]",
+        )?;
         check(self.mean_update_age >= 0.0, "mean_update_age must be >= 0")?;
-        check(self.n_low + self.n_high > 0, "need at least one view object")?;
+        check(
+            self.n_low + self.n_high > 0,
+            "need at least one view object",
+        )?;
         check(
             self.slack_min >= 0.0 && self.slack_max >= self.slack_min,
             "slack range must satisfy 0 <= slack_min <= slack_max",
@@ -428,10 +456,16 @@ impl SimConfig {
                 b.from >= 0.0 && b.until > b.from,
                 "burst must satisfy 0 <= from < until",
             )?;
-            check(b.factor >= 0.0 && b.factor.is_finite(), "burst factor must be >= 0")?;
+            check(
+                b.factor >= 0.0 && b.factor.is_finite(),
+                "burst factor must be >= 0",
+            )?;
         }
         if let Policy::FixedFraction { fraction } = self.policy {
-            check((0.0..=1.0).contains(&fraction), "fixed fraction must be in [0,1]")?;
+            check(
+                (0.0..=1.0).contains(&fraction),
+                "fixed fraction must be in [0,1]",
+            )?;
         }
         check(
             (1..=64).contains(&self.attrs_per_object),
@@ -460,7 +494,10 @@ impl SimConfig {
                 h.lag_min >= 0.0 && h.lag_max >= h.lag_min,
                 "history lags must satisfy 0 <= lag_min <= lag_max",
             )?;
-            check(h.policy.retention_secs > 0.0, "history retention must be > 0")?;
+            check(
+                h.policy.retention_secs > 0.0,
+                "history retention must be > 0",
+            )?;
             check(
                 h.policy.max_entries_per_object > 0,
                 "history cap must be > 0",
@@ -471,14 +508,20 @@ impl SimConfig {
             )?;
         }
         if let Some(io) = self.io {
-            check((0.0..=1.0).contains(&io.hit_ratio), "hit_ratio must be in [0,1]")?;
+            check(
+                (0.0..=1.0).contains(&io.hit_ratio),
+                "hit_ratio must be in [0,1]",
+            )?;
             check(io.x_io >= 0.0, "x_io must be >= 0")?;
         }
         if let Some(t) = self.triggers {
             check(t.sources_per_rule > 0, "rules need at least one source")?;
             check(t.exec_instr >= 0.0, "rule execution cost must be >= 0")?;
             check(t.max_pending > 0, "trigger max_pending must be > 0")?;
-            check(self.n_general > 0, "rules need general objects to derive into")?;
+            check(
+                self.n_general > 0,
+                "rules need general objects to derive into",
+            )?;
         }
         if let UpdateMode::Periodic { jitter_frac } = self.update_mode {
             check(
@@ -724,7 +767,11 @@ mod tests {
     fn invalid_configs_are_rejected() {
         assert!(SimConfig::builder().lambda_t(-1.0).build().is_err());
         assert!(SimConfig::builder().p_view(1.5).build().is_err());
-        assert!(SimConfig::builder().slack_min(2.0).slack_max(1.0).build().is_err());
+        assert!(SimConfig::builder()
+            .slack_min(2.0)
+            .slack_max(1.0)
+            .build()
+            .is_err());
         assert!(SimConfig::builder().duration(0.0).build().is_err());
         assert!(SimConfig::builder().warmup(1000.0).build().is_err());
         assert!(SimConfig::builder()

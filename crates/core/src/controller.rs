@@ -26,10 +26,10 @@
 use strip_db::cost::CostModel;
 use strip_db::history::HistoryStore;
 use strip_db::object::{Importance, ViewObjectId};
-use strip_db::triggers::{generate_rules, RuleSet};
 use strip_db::osqueue::OsQueue;
 use strip_db::staleness::{ExpiryWatch, StalenessSpec, StalenessTracker};
 use strip_db::store::{InstallOutcome, Store};
+use strip_db::triggers::{generate_rules, RuleSet};
 use strip_db::update::Update;
 use strip_db::update_queue::DualUpdateQueue;
 use strip_sim::dist::{Distribution, Exponential};
@@ -80,15 +80,9 @@ enum TxnSliceKind {
         remaining: f64,
     },
     /// Applying an on-demand update taken from the queue (OD).
-    OdApply {
-        obj: ViewObjectId,
-        remaining: f64,
-    },
+    OdApply { obj: ViewObjectId, remaining: f64 },
     /// Waiting out a buffer-pool miss on a view read (disk extension).
-    IoStall {
-        obj: ViewObjectId,
-        remaining: f64,
-    },
+    IoStall { obj: ViewObjectId, remaining: f64 },
 }
 
 /// The job occupying the CPU.
@@ -106,10 +100,7 @@ enum Job {
     /// Receiving/enqueueing updates from the OS queue into the update queue.
     QueueTransfer,
     /// Executing one fired rule (triggers extension).
-    RuleExec {
-        rule_id: u32,
-        fired_at: SimTime,
-    },
+    RuleExec { rule_id: u32, fired_at: SimTime },
 }
 
 #[derive(Debug, Clone)]
@@ -224,9 +215,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             cfg.attrs_per_object,
             |id| init_ages[idx(id)],
         );
-        let tracker = StalenessTracker::new(cfg.staleness, cfg.n_low, cfg.n_high, SimTime::ZERO, |id| {
-            init_ages[idx(id)]
-        });
+        let tracker =
+            StalenessTracker::new(cfg.staleness, cfg.n_low, cfg.n_high, SimTime::ZERO, |id| {
+                init_ages[idx(id)]
+            });
         let mut metrics = Metrics::new(SimTime::from_secs(cfg.warmup));
         if let Some(width) = cfg.timeline_window {
             metrics.enable_timeline(width);
@@ -311,7 +303,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     #[must_use]
     pub fn finalize(mut self, end: SimTime, events: u64) -> RunReport {
         // Charge any slice still on the CPU up to the horizon.
-        if let CpuState::Busy { started, ref job, .. } = self.cpu {
+        if let CpuState::Busy {
+            started, ref job, ..
+        } = self.cpu
+        {
             let activity = Self::activity_of(job);
             self.metrics.charge_busy(activity, started, end);
         }
@@ -419,7 +414,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             return;
         };
         let elapsed = now.since(started);
-        self.metrics.charge_busy(Self::activity_of(&job), started, now);
+        self.metrics
+            .charge_busy(Self::activity_of(&job), started, now);
         if let Job::Txn(kind) = job {
             if let Some(rt) = self.running.as_mut() {
                 match kind {
@@ -591,7 +587,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             // Feasible-deadline purge, then highest value density.
             if self.cfg.feasible_deadline {
                 for t in self.ready.drain_infeasible(now) {
-                    self.metrics.txn_aborted_at(&t, AbortReason::Infeasible, now);
+                    self.metrics
+                        .txn_aborted_at(&t, AbortReason::Infeasible, now);
                 }
             }
             if let Some(txn) = self.ready.pop_best() {
@@ -626,7 +623,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             && !rt.txn.feasible_at(now)
         {
             let rt = self.running.take().expect("running txn");
-            self.metrics.txn_aborted_at(&rt.txn, AbortReason::Infeasible, now);
+            self.metrics
+                .txn_aborted_at(&rt.txn, AbortReason::Infeasible, now);
             return false;
         }
         let (kind, duration) = match rt.slice {
@@ -771,7 +769,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         self.metrics.update_arrived(now, accepted);
         // The system has been handed this update: under UU the object is now
         // stale until a value at least this recent is installed.
-        self.tracker.on_receive(spec.object, spec.generation_ts, now);
+        self.tracker
+            .on_receive(spec.object, spec.generation_ts, now);
         self.metrics
             .observe_queue_lengths(self.os_queue.len(), self.uq.len());
         // Schedule the next arrival.
@@ -837,7 +836,12 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     }
 
     fn on_cpu_done(&mut self, done_epoch: u64, now: SimTime, ctx: &mut Ctx<'_, Event>) {
-        let CpuState::Busy { epoch, started, ref job } = self.cpu else {
+        let CpuState::Busy {
+            epoch,
+            started,
+            ref job,
+        } = self.cpu
+        else {
             return;
         };
         if epoch != done_epoch {
@@ -939,8 +943,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         // instant predates the retained window.
         if let (Some(history), Some(access)) = (self.history.as_ref(), self.cfg.history) {
             if access.p_historical_read > 0.0 && self.hist_rng.chance(access.p_historical_read) {
-                let lag = access.lag_min
-                    + (access.lag_max - access.lag_min) * self.hist_rng.next_f64();
+                let lag =
+                    access.lag_min + (access.lag_max - access.lag_min) * self.hist_rng.next_f64();
                 let as_of = SimTime::from_secs(now.as_secs() - lag);
                 let hit = history.value_as_of(obj, as_of).is_some();
                 let arrival = self
@@ -1051,7 +1055,14 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                         ctx,
                     );
                 } else {
-                    self.on_txn_slice_done(TxnSliceKind::OdApply { obj, remaining: 0.0 }, now, ctx);
+                    self.on_txn_slice_done(
+                        TxnSliceKind::OdApply {
+                            obj,
+                            remaining: 0.0,
+                        },
+                        now,
+                        ctx,
+                    );
                 }
             }
             None => self.finalize_read(obj, now, ctx),
@@ -1090,7 +1101,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         self.metrics.view_read(arrival, metric_stale);
         if self.cfg.abort_on_stale && sys_stale {
             let rt = self.running.take().expect("running txn");
-            self.metrics.txn_aborted_at(&rt.txn, AbortReason::StaleRead, now);
+            self.metrics
+                .txn_aborted_at(&rt.txn, AbortReason::StaleRead, now);
             self.dispatch(now, ctx);
             return;
         }
@@ -1132,7 +1144,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 self.interrupt_slice(now);
             }
             let rt = self.running.take().expect("running txn");
-            self.metrics.txn_aborted_at(&rt.txn, AbortReason::MissedDeadline, now);
+            self.metrics
+                .txn_aborted_at(&rt.txn, AbortReason::MissedDeadline, now);
             if on_cpu {
                 self.dispatch(now, ctx);
             }
@@ -1140,7 +1153,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         }
         // Waiting in the ready queue?
         if let Some(t) = self.ready.remove(txn_id) {
-            self.metrics.txn_aborted_at(&t, AbortReason::MissedDeadline, now);
+            self.metrics
+                .txn_aborted_at(&t, AbortReason::MissedDeadline, now);
         }
         // Otherwise it already finished — nothing to do.
     }
@@ -1207,7 +1221,7 @@ pub fn run_simulation<U: UpdateSource, T: TxnSource>(
     txn_src: T,
 ) -> RunReport {
     let mut controller = Controller::new(cfg.clone(), update_src, txn_src);
-    let mut engine = Engine::new();
+    let mut engine = Engine::with_capacity(cfg.calendar_capacity_hint());
     controller.prime(&mut engine);
     let horizon = SimTime::from_secs(cfg.duration);
     engine.run_until(&mut controller, horizon);

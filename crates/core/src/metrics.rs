@@ -486,7 +486,8 @@ mod tests {
 
     #[test]
     fn fold_uses_post_warmup_integral() {
-        let mut tr = StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
+        let mut tr =
+            StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
         let id = strip_db::object::ViewObjectId::new(Importance::Low, 0);
         // Stale over [2, 30].
         tr.on_receive(id, t(2.0), t(2.0));

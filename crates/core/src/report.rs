@@ -324,6 +324,104 @@ impl RunReport {
         }
         self.txns.value_committed / self.cpu.measured_secs
     }
+
+    /// Field-wise mean across replica runs of the same configuration.
+    ///
+    /// Real-valued fields are averaged exactly; counters are averaged and
+    /// rounded to the nearest integer. Label fields (`policy`, `seed`,
+    /// `duration`, `warmup`) come from the first report, so the result keeps
+    /// the base replica's identity. Timeline windows are averaged per index.
+    ///
+    /// # Panics
+    /// Panics when `reports` is empty.
+    #[must_use]
+    pub fn average(reports: &[RunReport]) -> RunReport {
+        assert!(!reports.is_empty(), "cannot average zero reports");
+        let n = reports.len() as f64;
+        let mf = |f: &dyn Fn(&RunReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let mu = |f: &dyn Fn(&RunReport) -> u64| {
+            (reports.iter().map(|r| f(r) as u128).sum::<u128>() as f64 / n).round() as u64
+        };
+        let first = &reports[0];
+        let class = |c: usize| ClassCounts {
+            arrived: mu(&|r| r.txns.by_class[c].arrived),
+            committed: mu(&|r| r.txns.by_class[c].committed),
+            committed_fresh: mu(&|r| r.txns.by_class[c].committed_fresh),
+        };
+        let timeline = (0..first.timeline.len())
+            .map(|w| TimelineWindow {
+                t_start: first.timeline[w].t_start,
+                finished: mu(&|r| r.timeline.get(w).map_or(0, |t| t.finished)),
+                committed: mu(&|r| r.timeline.get(w).map_or(0, |t| t.committed)),
+                committed_fresh: mu(&|r| r.timeline.get(w).map_or(0, |t| t.committed_fresh)),
+            })
+            .collect();
+        RunReport {
+            policy: first.policy.clone(),
+            seed: first.seed,
+            duration: first.duration,
+            warmup: first.warmup,
+            txns: TxnCounts {
+                arrived: mu(&|r| r.txns.arrived),
+                committed: mu(&|r| r.txns.committed),
+                committed_fresh: mu(&|r| r.txns.committed_fresh),
+                missed_deadline: mu(&|r| r.txns.missed_deadline),
+                aborted_infeasible: mu(&|r| r.txns.aborted_infeasible),
+                aborted_stale: mu(&|r| r.txns.aborted_stale),
+                in_flight_at_end: mu(&|r| r.txns.in_flight_at_end),
+                value_committed: mf(&|r| r.txns.value_committed),
+                stale_reads: mu(&|r| r.txns.stale_reads),
+                view_reads: mu(&|r| r.txns.view_reads),
+                response_mean: mf(&|r| r.txns.response_mean),
+                response_sd: mf(&|r| r.txns.response_sd),
+                by_class: [class(0), class(1)],
+            },
+            updates: UpdateCounts {
+                arrived: mu(&|r| r.updates.arrived),
+                os_dropped: mu(&|r| r.updates.os_dropped),
+                enqueued: mu(&|r| r.updates.enqueued),
+                installed_background: mu(&|r| r.updates.installed_background),
+                installed_immediate: mu(&|r| r.updates.installed_immediate),
+                installed_on_demand: mu(&|r| r.updates.installed_on_demand),
+                superseded_skips: mu(&|r| r.updates.superseded_skips),
+                expired_dropped: mu(&|r| r.updates.expired_dropped),
+                overflow_dropped: mu(&|r| r.updates.overflow_dropped),
+                dedup_dropped: mu(&|r| r.updates.dedup_dropped),
+                max_uq_len: mu(&|r| r.updates.max_uq_len),
+                max_os_len: mu(&|r| r.updates.max_os_len),
+                left_in_os: mu(&|r| r.updates.left_in_os),
+                left_in_update_queue: mu(&|r| r.updates.left_in_update_queue),
+                in_flight_at_end: mu(&|r| r.updates.in_flight_at_end),
+            },
+            cpu: CpuStats {
+                busy_txn: mf(&|r| r.cpu.busy_txn),
+                busy_update: mf(&|r| r.cpu.busy_update),
+                measured_secs: mf(&|r| r.cpu.measured_secs),
+                events_processed: mu(&|r| r.cpu.events_processed),
+                io_misses_reads: mu(&|r| r.cpu.io_misses_reads),
+                io_misses_installs: mu(&|r| r.cpu.io_misses_installs),
+            },
+            fold_low: mf(&|r| r.fold_low),
+            fold_high: mf(&|r| r.fold_high),
+            history: HistoryStats {
+                historical_reads: mu(&|r| r.history.historical_reads),
+                misses: mu(&|r| r.history.misses),
+                appends: mu(&|r| r.history.appends),
+                pruned: mu(&|r| r.history.pruned),
+                entries_at_end: mu(&|r| r.history.entries_at_end),
+            },
+            triggers: TriggerStats {
+                fired: mu(&|r| r.triggers.fired),
+                coalesced: mu(&|r| r.triggers.coalesced),
+                dropped: mu(&|r| r.triggers.dropped),
+                executed: mu(&|r| r.triggers.executed),
+                pending_at_end: mu(&|r| r.triggers.pending_at_end),
+                lag_mean: mf(&|r| r.triggers.lag_mean),
+                max_pending: mu(&|r| r.triggers.max_pending),
+            },
+            timeline,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +491,41 @@ mod tests {
             ..RunReport::default()
         };
         assert!((r.av() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_one_is_identity() {
+        let r = RunReport {
+            policy: "UF".into(),
+            seed: 7,
+            duration: 10.0,
+            txns: TxnCounts {
+                arrived: 3,
+                value_committed: 1.25,
+                ..TxnCounts::default()
+            },
+            fold_low: 0.125,
+            ..RunReport::default()
+        };
+        assert_eq!(RunReport::average(std::slice::from_ref(&r)), r);
+    }
+
+    #[test]
+    fn average_means_fields() {
+        let mut a = RunReport::default();
+        a.txns.arrived = 10;
+        a.txns.value_committed = 2.0;
+        a.fold_low = 0.2;
+        let mut b = a.clone();
+        b.seed = 1;
+        b.txns.arrived = 13;
+        b.txns.value_committed = 4.0;
+        b.fold_low = 0.6;
+        let avg = RunReport::average(&[a, b]);
+        assert_eq!(avg.seed, 0); // identity comes from the first replica
+        assert_eq!(avg.txns.arrived, 12); // (10+13)/2 rounds to nearest
+        assert!((avg.txns.value_committed - 3.0).abs() < 1e-12);
+        assert!((avg.fold_low - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -423,7 +423,10 @@ fn running_txn_aborted_at_deadline_mid_flight() {
     let r = run(&c, updates, vec![a]);
     assert_eq!(r.txns.committed, 0);
     assert_eq!(r.txns.missed_deadline, 1);
-    assert_eq!(r.updates.installed_total() + r.updates.superseded_skips, 100);
+    assert_eq!(
+        r.updates.installed_total() + r.updates.superseded_skips,
+        100
+    );
 }
 
 #[test]
@@ -489,7 +492,10 @@ fn either_criterion_flags_both_kinds_of_staleness() {
     let b1 = txn(3, 8.0, 0.1, 8.0, vec![low(0)]); // at t=8, age 8 > 7
     let r = run(&c, vec![u], vec![a, b2, b1]);
     assert_eq!(r.txns.committed, 3);
-    assert_eq!(r.txns.stale_reads, 2, "one UU-stale read + one MA-stale read");
+    assert_eq!(
+        r.txns.stale_reads, 2,
+        "one UU-stale read + one MA-stale read"
+    );
     assert_eq!(r.txns.committed_fresh, 1);
 }
 

@@ -17,7 +17,7 @@ const DURATION: f64 = 30.0;
 
 #[derive(Debug, Clone)]
 struct WorkloadSeed {
-    updates: Vec<(u16, u8, u8, u16)>, // (gap_ms, class, obj, age_ms)
+    updates: Vec<(u16, u8, u8, u16)>,   // (gap_ms, class, obj, age_ms)
     txns: Vec<(u16, u8, u16, u16, u8)>, // (gap_ms, class, compute_ms, slack_ms, reads)
 }
 
@@ -53,7 +53,11 @@ fn build_sources(seed: &WorkloadSeed) -> (ScriptedUpdates, ScriptedTxns, u64, u6
         if t > cutoff {
             break;
         }
-        let class = if class == 0 { Importance::Low } else { Importance::High };
+        let class = if class == 0 {
+            Importance::Low
+        } else {
+            Importance::High
+        };
         updates.push(UpdateSpec {
             arrival: SimTime::from_secs(t),
             object: ViewObjectId::new(class, u32::from(obj) % N_OBJ),
@@ -69,7 +73,11 @@ fn build_sources(seed: &WorkloadSeed) -> (ScriptedUpdates, ScriptedTxns, u64, u6
         if t > cutoff {
             break;
         }
-        let class = if class == 0 { Importance::Low } else { Importance::High };
+        let class = if class == 0 {
+            Importance::Low
+        } else {
+            Importance::High
+        };
         txns.push(TxnSpec {
             id: i as u64,
             class,
@@ -83,7 +91,12 @@ fn build_sources(seed: &WorkloadSeed) -> (ScriptedUpdates, ScriptedTxns, u64, u6
         });
     }
     let (nu, nt) = (updates.len() as u64, txns.len() as u64);
-    (ScriptedUpdates::new(updates), ScriptedTxns::new(txns), nu, nt)
+    (
+        ScriptedUpdates::new(updates),
+        ScriptedTxns::new(txns),
+        nu,
+        nt,
+    )
 }
 
 struct Extras {

@@ -71,7 +71,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 out_dir = Some(PathBuf::from(v));
             }
             "--help" | "-h" => return Err(usage()),
-            name => figures.push(name.parse::<FigureId>().map_err(|e| format!("{e}\n\n{}", usage()))?),
+            name => figures.push(
+                name.parse::<FigureId>()
+                    .map_err(|e| format!("{e}\n\n{}", usage()))?,
+            ),
         }
     }
     if figures.is_empty() {
@@ -131,8 +134,17 @@ mod tests {
 
     #[test]
     fn parses_figure_lists_and_flags() {
-        let a = parse(&["fig06", "fig14", "--seconds", "50", "--seed", "9", "--replicas", "3"])
-            .unwrap();
+        let a = parse(&[
+            "fig06",
+            "fig14",
+            "--seconds",
+            "50",
+            "--seed",
+            "9",
+            "--replicas",
+            "3",
+        ])
+        .unwrap();
         assert_eq!(a.figures.len(), 2);
         assert_eq!(a.settings.duration, 50.0);
         assert_eq!(a.settings.seed, 9);

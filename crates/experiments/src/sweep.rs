@@ -4,9 +4,15 @@
 //! cores allow) with the Poisson workload of `strip-workload`. Results come
 //! back in submission order regardless of completion order, so figures are
 //! deterministic.
+//!
+//! Result collection is lock-free: jobs are claimed from a shared atomic
+//! cursor and every worker writes each finished report into that job's own
+//! pre-allocated slot (a `OnceLock` per index), so no two workers ever
+//! contend on a slot and no mutex guards the hot path.
 
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use strip_core::config::SimConfig;
 use strip_core::report::RunReport;
 use strip_workload::run_paper_sim;
@@ -74,36 +80,81 @@ impl RunSettings {
     }
 }
 
-/// Runs every configuration, returning reports in input order.
-#[must_use]
-pub fn run_sweep(settings: &RunSettings, configs: Vec<SimConfig>) -> Vec<RunReport> {
-    let jobs = configs.len();
-    if jobs == 0 {
+/// Runs `jobs` simulations across `workers` threads; slot `i` of the result
+/// receives job `i`'s report. Each slot is written exactly once by whichever
+/// worker claimed the job, so collection needs no lock.
+fn run_jobs(jobs: Vec<SimConfig>, workers: usize) -> Vec<RunReport> {
+    if jobs.is_empty() {
         return Vec::new();
     }
-    let workers = settings.worker_count(jobs);
     if workers == 1 {
-        return configs.iter().map(run_paper_sim).collect();
+        return jobs.iter().map(run_paper_sim).collect();
     }
-    let queue: SegQueue<(usize, SimConfig)> = SegQueue::new();
-    for (i, cfg) in configs.into_iter().enumerate() {
-        queue.push((i, cfg));
-    }
-    let results: Mutex<Vec<Option<RunReport>>> = Mutex::new(vec![None; jobs]);
+    let slots: Vec<OnceLock<RunReport>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                while let Some((i, cfg)) = queue.pop() {
-                    let report = run_paper_sim(&cfg);
-                    results.lock()[i] = Some(report);
-                }
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = jobs.get(i) else { break };
+                let report = run_paper_sim(cfg);
+                slots[i]
+                    .set(report)
+                    .expect("each job index is claimed by exactly one worker");
             });
         }
     });
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|r| r.expect("every job completed"))
+        .map(|slot| slot.into_inner().expect("every job completed"))
+        .collect()
+}
+
+/// Runs every configuration under every replica seed, returning the full
+/// per-config replica sets in input order.
+///
+/// Replica `r` of a configuration runs with `cfg.seed.wrapping_add(r)`, so
+/// replica 0 is bit-identical to the unreplicated run.
+#[must_use]
+pub fn run_sweep_replicated(
+    settings: &RunSettings,
+    configs: Vec<SimConfig>,
+) -> Vec<Vec<RunReport>> {
+    let replicas = settings.replicas.max(1);
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let mut jobs = Vec::with_capacity(configs.len() * replicas);
+    for cfg in &configs {
+        for rep in 0..replicas {
+            let mut c = cfg.clone();
+            c.seed = c.seed.wrapping_add(rep as u64);
+            jobs.push(c);
+        }
+    }
+    let workers = settings.worker_count(jobs.len());
+    let reports = run_jobs(jobs, workers);
+    reports
+        .chunks(replicas)
+        .map(<[RunReport]>::to_vec)
+        .collect()
+}
+
+/// Runs every configuration, returning one report per config in input
+/// order. With `replicas > 1` each report is the field-wise mean across the
+/// replica seeds ([`RunReport::average`]); with `replicas == 1` the single
+/// run is returned untouched (bit-for-bit).
+#[must_use]
+pub fn run_sweep(settings: &RunSettings, configs: Vec<SimConfig>) -> Vec<RunReport> {
+    run_sweep_replicated(settings, configs)
+        .into_iter()
+        .map(|mut reps| {
+            if reps.len() == 1 {
+                reps.pop().expect("one replica")
+            } else {
+                RunReport::average(&reps)
+            }
+        })
         .collect()
 }
 
@@ -182,5 +233,49 @@ mod tests {
         let cfg = s.apply(SimConfig::default());
         assert_eq!(cfg.duration, 42.0);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn replicas_expand_and_average() {
+        let mut settings = RunSettings::quick(2.0);
+        settings.replicas = 3;
+        let cfgs = configs(2);
+        let sets = run_sweep_replicated(&settings, cfgs.clone());
+        assert_eq!(sets.len(), 2);
+        for (cfg, reps) in cfgs.iter().zip(&sets) {
+            assert_eq!(reps.len(), 3);
+            // Replica 0 carries the base seed; later replicas increment it.
+            for (r, rep) in reps.iter().enumerate() {
+                assert_eq!(rep.seed, cfg.seed.wrapping_add(r as u64));
+            }
+        }
+        let averaged = run_sweep(&settings, cfgs);
+        assert_eq!(averaged.len(), 2);
+        for (avg, reps) in averaged.iter().zip(&sets) {
+            let mean_av: f64 = reps.iter().map(|r| r.txns.value_committed).sum::<f64>() / 3.0;
+            assert!((avg.txns.value_committed - mean_av).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn replicas_one_is_bit_identical_to_unreplicated() {
+        let cfgs = configs(3);
+        let base = run_sweep(&RunSettings::quick(2.0), cfgs.clone());
+        let mut settings = RunSettings::quick(2.0);
+        settings.replicas = 1;
+        let replicated = run_sweep(&settings, cfgs);
+        assert_eq!(base, replicated);
+    }
+
+    #[test]
+    fn parallel_replicated_equals_sequential_replicated() {
+        let mut seq_settings = RunSettings::quick(2.0);
+        seq_settings.replicas = 2;
+        let mut par_settings = seq_settings.clone();
+        par_settings.threads = 4;
+        let cfgs = configs(3);
+        let seq = run_sweep_replicated(&seq_settings, cfgs.clone());
+        let par = run_sweep_replicated(&par_settings, cfgs);
+        assert_eq!(seq, par);
     }
 }

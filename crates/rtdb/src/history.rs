@@ -103,7 +103,9 @@ impl HistoryStore {
         let mut pruned = 0u64;
         let chain = self.chain_mut(id);
         debug_assert!(
-            chain.back().is_none_or(|v| v.generation_ts <= generation_ts),
+            chain
+                .back()
+                .is_none_or(|v| v.generation_ts <= generation_ts),
             "history appends must be generation-ordered"
         );
         chain.push_back(Version {
@@ -161,7 +163,12 @@ impl HistoryStore {
     pub fn total_entries(&self) -> usize {
         Importance::ALL
             .iter()
-            .map(|c| self.chains[c.index()].iter().map(VecDeque::len).sum::<usize>())
+            .map(|c| {
+                self.chains[c.index()]
+                    .iter()
+                    .map(VecDeque::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -224,7 +231,9 @@ mod tests {
         let mut h = store(100.0, 100);
         h.record(id(), t(5.0), 50.0);
         assert!(h.value_as_of(id(), t(4.9)).is_none());
-        assert!(h.value_as_of(ViewObjectId::new(Importance::High, 0), t(10.0)).is_none());
+        assert!(h
+            .value_as_of(ViewObjectId::new(Importance::High, 0), t(10.0))
+            .is_none());
     }
 
     #[test]

@@ -137,7 +137,13 @@ impl StalenessTracker {
     /// generation timestamps are given by `init_gen`. Statistics accumulate
     /// from `start`.
     #[must_use]
-    pub fn new<F>(spec: StalenessSpec, n_low: u32, n_high: u32, start: SimTime, mut init_gen: F) -> Self
+    pub fn new<F>(
+        spec: StalenessSpec,
+        n_low: u32,
+        n_high: u32,
+        start: SimTime,
+        mut init_gen: F,
+    ) -> Self
     where
         F: FnMut(ViewObjectId) -> SimTime,
     {
@@ -145,9 +151,7 @@ impl StalenessTracker {
             (0..n)
                 .map(|i| {
                     let gen = init_gen(ViewObjectId::new(class, i));
-                    let ma_stale = spec
-                        .alpha()
-                        .is_some_and(|alpha| start.since(gen) > alpha);
+                    let ma_stale = spec.alpha().is_some_and(|alpha| start.since(gen) > alpha);
                     ObjState {
                         ma_stale,
                         uu_stale: false,
@@ -358,13 +362,9 @@ mod tests {
     }
 
     fn ma_tracker(alpha: f64, init_age: f64) -> StalenessTracker {
-        StalenessTracker::new(
-            StalenessSpec::MaxAge { alpha },
-            2,
-            2,
-            t(0.0),
-            |_| t(-init_age),
-        )
+        StalenessTracker::new(StalenessSpec::MaxAge { alpha }, 2, 2, t(0.0), |_| {
+            t(-init_age)
+        })
     }
 
     #[test]
@@ -419,7 +419,8 @@ mod tests {
 
     #[test]
     fn uu_receive_then_install_cycle() {
-        let mut tr = StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
+        let mut tr =
+            StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
         let id = ViewObjectId::new(Importance::Low, 0);
         assert!(!tr.is_stale(id));
         tr.on_receive(id, t(1.0), t(1.1));
@@ -432,7 +433,8 @@ mod tests {
 
     #[test]
     fn uu_dropped_update_keeps_object_stale_until_newer_install() {
-        let mut tr = StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
+        let mut tr =
+            StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
         let id = ViewObjectId::new(Importance::Low, 0);
         tr.on_receive(id, t(1.0), t(1.0));
         // The update is dropped from the queue — no install happens. A later
@@ -446,7 +448,8 @@ mod tests {
 
     #[test]
     fn uu_out_of_order_receives_keep_newest() {
-        let mut tr = StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
+        let mut tr =
+            StalenessTracker::new(StalenessSpec::UnappliedUpdate, 1, 0, t(0.0), |_| t(0.0));
         let id = ViewObjectId::new(Importance::Low, 0);
         tr.on_receive(id, t(5.0), t(5.0));
         tr.on_receive(id, t(2.0), t(5.1)); // late, older — ignored
@@ -474,13 +477,10 @@ mod tests {
 
     #[test]
     fn either_is_stale_under_either_component() {
-        let mut tr = StalenessTracker::new(
-            StalenessSpec::Either { alpha: 7.0 },
-            1,
-            0,
-            t(0.0),
-            |_| t(0.0),
-        );
+        let mut tr =
+            StalenessTracker::new(StalenessSpec::Either { alpha: 7.0 }, 1, 0, t(0.0), |_| {
+                t(0.0)
+            });
         let id = ViewObjectId::new(Importance::Low, 0);
         assert!(!tr.is_stale(id));
         // UU component: a pending update makes it stale while still young.
@@ -498,13 +498,10 @@ mod tests {
 
     #[test]
     fn either_both_components_must_clear() {
-        let mut tr = StalenessTracker::new(
-            StalenessSpec::Either { alpha: 7.0 },
-            1,
-            0,
-            t(0.0),
-            |_| t(0.0),
-        );
+        let mut tr =
+            StalenessTracker::new(StalenessSpec::Either { alpha: 7.0 }, 1, 0, t(0.0), |_| {
+                t(0.0)
+            });
         let id = ViewObjectId::new(Importance::Low, 0);
         // Receive generation 5, but install only generation 3: the value is
         // young (MA-fresh) yet a newer update remains unapplied.
@@ -517,13 +514,9 @@ mod tests {
 
     #[test]
     fn either_initial_watches_cover_fresh_objects() {
-        let tr = StalenessTracker::new(
-            StalenessSpec::Either { alpha: 7.0 },
-            2,
-            1,
-            t(0.0),
-            |_| t(-1.0),
-        );
+        let tr = StalenessTracker::new(StalenessSpec::Either { alpha: 7.0 }, 2, 1, t(0.0), |_| {
+            t(-1.0)
+        });
         assert_eq!(tr.initial_watches().len(), 3);
         assert_eq!(tr.spec().alpha(), Some(7.0));
         assert!(tr.spec().tracks_unapplied());

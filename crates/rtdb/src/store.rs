@@ -47,8 +47,12 @@ impl Store {
     #[must_use]
     pub fn new(n_low: u32, n_high: u32, n_general: u32, initial_ts: SimTime) -> Self {
         Store {
-            low: (0..n_low).map(|_| ViewObject::new(0.0, initial_ts)).collect(),
-            high: (0..n_high).map(|_| ViewObject::new(0.0, initial_ts)).collect(),
+            low: (0..n_low)
+                .map(|_| ViewObject::new(0.0, initial_ts))
+                .collect(),
+            high: (0..n_high)
+                .map(|_| ViewObject::new(0.0, initial_ts))
+                .collect(),
             general: vec![0.0; n_general as usize],
             installs: 0,
             superseded: 0,
@@ -71,10 +75,14 @@ impl Store {
         F: FnMut(ViewObjectId) -> SimTime,
     {
         let low = (0..n_low)
-            .map(|i| ViewObject::with_attrs(0.0, init_ts(ViewObjectId::new(Importance::Low, i)), attrs))
+            .map(|i| {
+                ViewObject::with_attrs(0.0, init_ts(ViewObjectId::new(Importance::Low, i)), attrs)
+            })
             .collect();
         let high = (0..n_high)
-            .map(|i| ViewObject::with_attrs(0.0, init_ts(ViewObjectId::new(Importance::High, i)), attrs))
+            .map(|i| {
+                ViewObject::with_attrs(0.0, init_ts(ViewObjectId::new(Importance::High, i)), attrs)
+            })
             .collect();
         Store {
             low,
@@ -177,7 +185,10 @@ impl Store {
     }
 
     /// Iterates over all view objects of a class with their ids.
-    pub fn iter_class(&self, class: Importance) -> impl Iterator<Item = (ViewObjectId, &ViewObject)> {
+    pub fn iter_class(
+        &self,
+        class: Importance,
+    ) -> impl Iterator<Item = (ViewObjectId, &ViewObject)> {
         let slice = match class {
             Importance::Low => &self.low,
             Importance::High => &self.high,
@@ -271,12 +282,16 @@ mod tests {
         let id = ViewObjectId::new(Importance::Low, 0);
         let mut u = upd(Importance::Low, 0, 4.0, 1.5);
         u.attr_mask = 0b01;
-        assert!(matches!(s.install(&u), InstallOutcome::Installed { min_generation, .. } if min_generation == t(0.0)));
+        assert!(
+            matches!(s.install(&u), InstallOutcome::Installed { min_generation, .. } if min_generation == t(0.0))
+        );
         // MA staleness follows the oldest attribute.
         assert!(s.is_stale_ma(id, t(8.0), 7.0));
         let mut u2 = upd(Importance::Low, 0, 6.0, 2.5);
         u2.attr_mask = 0b10;
-        assert!(matches!(s.install(&u2), InstallOutcome::Installed { min_generation, .. } if min_generation == t(4.0)));
+        assert!(
+            matches!(s.install(&u2), InstallOutcome::Installed { min_generation, .. } if min_generation == t(4.0))
+        );
         assert!(!s.is_stale_ma(id, t(8.0), 7.0));
         // A partial update to an already-newer attribute is superseded.
         let mut u3 = upd(Importance::Low, 0, 3.0, 0.0);
@@ -291,8 +306,14 @@ mod tests {
             (Importance::Low, 1) => t(-2.0),
             _ => t(-3.0),
         });
-        assert_eq!(s.view(ViewObjectId::new(Importance::Low, 1)).generation_ts, t(-2.0));
-        assert_eq!(s.view(ViewObjectId::new(Importance::High, 0)).generation_ts, t(-3.0));
+        assert_eq!(
+            s.view(ViewObjectId::new(Importance::Low, 1)).generation_ts,
+            t(-2.0)
+        );
+        assert_eq!(
+            s.view(ViewObjectId::new(Importance::High, 0)).generation_ts,
+            t(-3.0)
+        );
     }
 
     #[test]

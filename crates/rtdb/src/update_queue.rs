@@ -17,18 +17,69 @@
 //! same object (complete updates to snapshot views make all but the newest
 //! worthless), which both bounds the queue under UU and makes On-Demand
 //! lookups constant time.
+//!
+//! # Layout
+//!
+//! This is the hottest structure in the simulator (~400 inserts per
+//! simulated second, every one of Figures 3–16 sweeps thousands of seconds),
+//! so it is built for the cache, not for generality: update nodes live in a
+//! slab arena (`Vec<Node>` plus an intrusive free list, so steady state
+//! performs **zero allocations**) and each node is threaded onto two
+//! intrusive doubly-linked lists —
+//!
+//! * the **global list**, sorted by `(generation_ts, seq)`, giving O(1)
+//!   FIFO/LIFO dequeue, O(1) overflow discard and O(expired) MA expiry;
+//! * a **per-object chain** anchored in a dense `Vec` indexed by
+//!   [`ViewObjectId`], giving O(1) newest-for-object lookup and O(1)
+//!   per-object drain.
+//!
+//! Enqueue finds the global position by walking back from the tail past
+//! larger keys. Updates arrive nearly sorted by generation time (an arrival
+//! is out of order only w.r.t. updates generated after it that arrived
+//! before it, ~`λ_u · mean_age / 2` of them), so the walk is amortised O(1)
+//! on the simulator's streams. The seed `BTreeMap`-based implementation is
+//! preserved verbatim in [`reference`] as the benchmark baseline and the
+//! proptest oracle.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+pub mod reference;
 
 use serde::{Deserialize, Serialize};
 use strip_sim::time::SimTime;
 
-use crate::object::ViewObjectId;
+use crate::object::{Importance, ViewObjectId};
 use crate::update::Update;
 
 /// Key ordering queued updates by generation time (sequence number breaks
 /// ties deterministically).
 type QueueKey = (SimTime, u64);
+
+/// Sentinel node index meaning "no node".
+const NIL: u32 = u32::MAX;
+
+/// One slab entry: the update plus its links on the global list
+/// (`prev`/`next`) and on its object's chain (`obj_prev`/`obj_next`). Free
+/// entries reuse `next` as the free-list link.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    update: Update,
+    prev: u32,
+    next: u32,
+    obj_prev: u32,
+    obj_next: u32,
+}
+
+/// Head and tail of one object's chain (both `NIL` when empty). The chain
+/// is kept sorted by key, so `tail` is the newest queued update.
+#[derive(Debug, Clone, Copy)]
+struct ObjChain {
+    head: u32,
+    tail: u32,
+}
+
+const EMPTY_CHAIN: ObjChain = ObjChain {
+    head: NIL,
+    tail: NIL,
+};
 
 /// Outcome of an insert.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,8 +120,16 @@ pub struct InsertOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct UpdateQueue {
-    by_generation: BTreeMap<QueueKey, Update>,
-    per_object: HashMap<ViewObjectId, BTreeSet<QueueKey>>,
+    nodes: Vec<Node>,
+    /// Head of the intrusive free list through `Node::next`.
+    free: u32,
+    /// Oldest-key node of the global list.
+    head: u32,
+    /// Newest-key node of the global list.
+    tail: u32,
+    /// Per-object anchors; slot = `index * 2 + class.index()`.
+    chains: Vec<ObjChain>,
+    len: usize,
     capacity: usize,
     dedup: bool,
     overflow_dropped: u64,
@@ -85,8 +144,12 @@ impl UpdateQueue {
     #[must_use]
     pub fn new(capacity: usize, dedup: bool) -> Self {
         UpdateQueue {
-            by_generation: BTreeMap::new(),
-            per_object: HashMap::new(),
+            nodes: Vec::with_capacity(capacity.min(1 << 16)),
+            free: NIL,
+            head: NIL,
+            tail: NIL,
+            chains: Vec::new(),
+            len: 0,
             capacity,
             dedup,
             overflow_dropped: 0,
@@ -99,22 +162,140 @@ impl UpdateQueue {
         (u.generation_ts, u.seq)
     }
 
-    fn unlink(&mut self, key: QueueKey) -> Option<Update> {
-        let update = self.by_generation.remove(&key)?;
-        if let Some(set) = self.per_object.get_mut(&update.object) {
-            set.remove(&key);
-            if set.is_empty() {
-                self.per_object.remove(&update.object);
-            }
-        }
-        Some(update)
+    fn slot_of(object: ViewObjectId) -> usize {
+        object.index as usize * 2 + object.class.index()
     }
 
+    fn object_at(slot: usize) -> ViewObjectId {
+        let class = if slot.is_multiple_of(2) {
+            Importance::Low
+        } else {
+            Importance::High
+        };
+        ViewObjectId::new(class, (slot / 2) as u32)
+    }
+
+    fn chain(&self, object: ViewObjectId) -> ObjChain {
+        self.chains
+            .get(Self::slot_of(object))
+            .copied()
+            .unwrap_or(EMPTY_CHAIN)
+    }
+
+    fn node_key(&self, idx: u32) -> QueueKey {
+        Self::key(&self.nodes[idx as usize].update)
+    }
+
+    fn alloc(&mut self, update: Update) -> u32 {
+        let fresh = Node {
+            update,
+            prev: NIL,
+            next: NIL,
+            obj_prev: NIL,
+            obj_next: NIL,
+        };
+        if self.free != NIL {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = fresh;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("slab fits in u32 indices");
+            self.nodes.push(fresh);
+            idx
+        }
+    }
+
+    /// Threads `update` onto both lists at its key-sorted position.
     fn link(&mut self, update: Update) {
         let key = Self::key(&update);
-        self.per_object.entry(update.object).or_default().insert(key);
-        let prev = self.by_generation.insert(key, update);
-        debug_assert!(prev.is_none(), "duplicate queue key");
+        let object = update.object;
+        let idx = self.alloc(update);
+        // Global list: walk back from the tail past larger keys. Streams are
+        // nearly generation-sorted, so this is a short hop in practice.
+        let mut after = self.tail;
+        while after != NIL && self.node_key(after) > key {
+            after = self.nodes[after as usize].prev;
+        }
+        if after == NIL {
+            self.nodes[idx as usize].next = self.head;
+            if self.head != NIL {
+                self.nodes[self.head as usize].prev = idx;
+            } else {
+                self.tail = idx;
+            }
+            self.head = idx;
+        } else {
+            let next = self.nodes[after as usize].next;
+            self.nodes[idx as usize].prev = after;
+            self.nodes[idx as usize].next = next;
+            self.nodes[after as usize].next = idx;
+            if next != NIL {
+                self.nodes[next as usize].prev = idx;
+            } else {
+                self.tail = idx;
+            }
+        }
+        // Object chain: same backward walk, usually empty or a single hop.
+        let slot = Self::slot_of(object);
+        if slot >= self.chains.len() {
+            self.chains.resize(slot + 1, EMPTY_CHAIN);
+        }
+        let mut oafter = self.chains[slot].tail;
+        while oafter != NIL && self.node_key(oafter) > key {
+            oafter = self.nodes[oafter as usize].obj_prev;
+        }
+        if oafter == NIL {
+            let old_head = self.chains[slot].head;
+            self.nodes[idx as usize].obj_next = old_head;
+            if old_head != NIL {
+                self.nodes[old_head as usize].obj_prev = idx;
+            } else {
+                self.chains[slot].tail = idx;
+            }
+            self.chains[slot].head = idx;
+        } else {
+            let onext = self.nodes[oafter as usize].obj_next;
+            self.nodes[idx as usize].obj_prev = oafter;
+            self.nodes[idx as usize].obj_next = onext;
+            self.nodes[oafter as usize].obj_next = idx;
+            if onext != NIL {
+                self.nodes[onext as usize].obj_prev = idx;
+            } else {
+                self.chains[slot].tail = idx;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Detaches node `idx` from both lists and returns it to the free list.
+    fn unlink(&mut self, idx: u32) -> Update {
+        let node = self.nodes[idx as usize];
+        if node.prev != NIL {
+            self.nodes[node.prev as usize].next = node.next;
+        } else {
+            self.head = node.next;
+        }
+        if node.next != NIL {
+            self.nodes[node.next as usize].prev = node.prev;
+        } else {
+            self.tail = node.prev;
+        }
+        let slot = Self::slot_of(node.update.object);
+        if node.obj_prev != NIL {
+            self.nodes[node.obj_prev as usize].obj_next = node.obj_next;
+        } else {
+            self.chains[slot].head = node.obj_next;
+        }
+        if node.obj_next != NIL {
+            self.nodes[node.obj_next as usize].obj_prev = node.obj_prev;
+        } else {
+            self.chains[slot].tail = node.obj_prev;
+        }
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
+        self.len -= 1;
+        node.update
     }
 
     /// Enqueues `update`, applying dedup (if enabled) and the overflow
@@ -126,39 +307,29 @@ impl UpdateQueue {
         };
         if self.dedup {
             let new_key = Self::key(&update);
+            let chain = self.chain(update.object);
             // A newer (or equal) update for the same object is already
             // queued: the arrival is worthless — drop it instead.
-            let superseded = self
-                .per_object
-                .get(&update.object)
-                .and_then(|set| set.iter().next_back())
-                .is_some_and(|&newest| newest >= new_key);
-            if superseded {
+            if chain.tail != NIL && self.node_key(chain.tail) >= new_key {
                 outcome.deduped = 1;
                 self.dedup_dropped += 1;
                 return outcome;
             }
-            // Otherwise remove the queued updates this one supersedes.
-            let older: Vec<QueueKey> = self
-                .per_object
-                .get(&update.object)
-                .map(|set| set.range(..new_key).copied().collect())
-                .unwrap_or_default();
-            for key in older {
-                self.unlink(key);
+            // Otherwise every queued same-object update is older (the chain
+            // tail is its newest): the arrival supersedes the whole chain.
+            let mut cur = chain.head;
+            while cur != NIL {
+                let next = self.nodes[cur as usize].obj_next;
+                self.unlink(cur);
                 outcome.deduped += 1;
                 self.dedup_dropped += 1;
+                cur = next;
             }
         }
         self.link(update);
-        if self.by_generation.len() > self.capacity {
+        if self.len > self.capacity {
             // Discard the oldest update (§4.2) — possibly the new arrival.
-            let oldest_key = *self
-                .by_generation
-                .keys()
-                .next()
-                .expect("non-empty queue has an oldest entry");
-            outcome.displaced = self.unlink(oldest_key);
+            outcome.displaced = Some(self.unlink(self.head));
             self.overflow_dropped += 1;
         }
         outcome
@@ -166,14 +337,12 @@ impl UpdateQueue {
 
     /// Removes the update with the oldest generation (FIFO service).
     pub fn pop_oldest(&mut self) -> Option<Update> {
-        let key = *self.by_generation.keys().next()?;
-        self.unlink(key)
+        (self.head != NIL).then(|| self.unlink(self.head))
     }
 
     /// Removes the update with the newest generation (LIFO service).
     pub fn pop_newest(&mut self) -> Option<Update> {
-        let key = *self.by_generation.keys().next_back()?;
-        self.unlink(key)
+        (self.tail != NIL).then(|| self.unlink(self.tail))
     }
 
     /// Discards every queued update whose value age exceeds `alpha` at
@@ -182,13 +351,14 @@ impl UpdateQueue {
     /// inspects the head.
     pub fn discard_expired(&mut self, now: SimTime, alpha: f64) -> usize {
         let mut n = 0;
-        while let Some((&(gen_ts, seq), _)) = self.by_generation.iter().next() {
+        while self.head != NIL {
             // Same age test as `Update::expired_at`, so the head check and
             // per-update expiry agree bit-for-bit.
+            let gen_ts = self.nodes[self.head as usize].update.generation_ts;
             if now.since(gen_ts) <= alpha {
                 break;
             }
-            self.unlink((gen_ts, seq));
+            self.unlink(self.head);
             n += 1;
         }
         self.expired_dropped += n as u64;
@@ -199,34 +369,39 @@ impl UpdateQueue {
     /// refresh or an Unapplied-Update staleness check looks for).
     #[must_use]
     pub fn newest_for(&self, object: ViewObjectId) -> Option<&Update> {
-        let key = *self.per_object.get(&object)?.iter().next_back()?;
-        self.by_generation.get(&key)
+        let tail = self.chain(object).tail;
+        (tail != NIL).then(|| &self.nodes[tail as usize].update)
     }
 
     /// Removes and returns the newest queued update for `object`.
     pub fn take_newest_for(&mut self, object: ViewObjectId) -> Option<Update> {
-        let key = *self.per_object.get(&object)?.iter().next_back()?;
-        self.unlink(key)
+        let tail = self.chain(object).tail;
+        (tail != NIL).then(|| self.unlink(tail))
     }
 
     /// True if any update for `object` is queued.
     #[must_use]
     pub fn has_pending_for(&self, object: ViewObjectId) -> bool {
-        self.per_object.contains_key(&object)
+        self.chain(object).tail != NIL
     }
 
     /// Removes the newest update for the object with the highest `score`
-    /// (access-driven service, extension): scans the per-object index
-    /// (O(distinct objects)), breaking score ties by object id so service
-    /// order is deterministic.
+    /// (access-driven service, extension): scans the per-object anchors
+    /// (O(anchor slots)), breaking score ties by object id so service order
+    /// is deterministic.
     pub fn pop_hottest<F>(&mut self, score: F) -> Option<Update>
     where
         F: Fn(ViewObjectId) -> u64,
     {
+        // `(score, Reverse(id))` is a strict total order over the distinct
+        // queued objects, so the winner is independent of scan order and
+        // matches the seed implementation's HashMap-keyed scan.
         let hottest = self
-            .per_object
-            .keys()
-            .copied()
+            .chains
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.tail != NIL)
+            .map(|(slot, _)| Self::object_at(slot))
             .max_by_key(|&id| (score(id), std::cmp::Reverse(id)))?;
         self.take_newest_for(hottest)
     }
@@ -234,13 +409,13 @@ impl UpdateQueue {
     /// Number of queued updates.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.by_generation.len()
+        self.len
     }
 
     /// True when no updates are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.by_generation.is_empty()
+        self.len == 0
     }
 
     /// The configured bound (`UQ_max`).
@@ -269,25 +444,88 @@ impl UpdateQueue {
 
     /// Iterates queued updates in generation order (oldest first).
     pub fn iter(&self) -> impl Iterator<Item = &Update> {
-        self.by_generation.values()
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let node = &self.nodes[cur as usize];
+            cur = node.next;
+            Some(&node.update)
+        })
     }
 
-    /// Internal consistency check used by tests: the per-object index and
-    /// the generation map describe the same set.
+    /// Slab high-water mark: how many node slots have ever been allocated
+    /// (diagnostic; steady state reuses freed slots instead of growing).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn slab_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Internal consistency check used by tests: both intrusive lists are
+    /// sorted, mutually consistent, and describe the same `len` nodes.
     #[doc(hidden)]
     #[must_use]
     pub fn check_invariants(&self) -> bool {
-        let indexed: usize = self.per_object.values().map(BTreeSet::len).sum();
-        if indexed != self.by_generation.len() {
+        // Walk the global list: strictly ascending keys, consistent back
+        // links, `len` nodes exactly.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut count = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        let mut last_key = None;
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            if node.prev != prev {
+                return false;
+            }
+            let key = Self::key(&node.update);
+            if last_key.is_some_and(|k| k >= key) {
+                return false;
+            }
+            last_key = Some(key);
+            seen[cur as usize] = true;
+            count += 1;
+            if count > self.len {
+                return false;
+            }
+            prev = cur;
+            cur = node.next;
+        }
+        if count != self.len || self.tail != prev {
             return false;
         }
-        self.per_object.iter().all(|(obj, keys)| {
-            keys.iter().all(|k| {
-                self.by_generation
-                    .get(k)
-                    .is_some_and(|u| u.object == *obj && Self::key(u) == *k)
-            })
-        })
+        // Walk every object chain: sorted, object-homogeneous, and covering
+        // exactly the nodes of the global list.
+        let mut chained = 0usize;
+        for (slot, chain) in self.chains.iter().enumerate() {
+            let object = Self::object_at(slot);
+            let mut oprev = NIL;
+            let mut cur = chain.head;
+            let mut last_key = None;
+            while cur != NIL {
+                let node = &self.nodes[cur as usize];
+                if node.obj_prev != oprev || node.update.object != object || !seen[cur as usize] {
+                    return false;
+                }
+                let key = Self::key(&node.update);
+                if last_key.is_some_and(|k| k >= key) {
+                    return false;
+                }
+                last_key = Some(key);
+                chained += 1;
+                if chained > self.len {
+                    return false;
+                }
+                oprev = cur;
+                cur = node.obj_next;
+            }
+            if chain.tail != oprev {
+                return false;
+            }
+        }
+        chained == self.len
     }
 }
 
@@ -505,8 +743,15 @@ mod tests {
         q.insert(upd(1, 7, 3.0));
         q.insert(upd(2, 7, 2.0));
         q.insert(upd(3, 8, 9.0));
-        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 1);
-        let taken = q.take_newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap();
+        assert_eq!(
+            q.newest_for(ViewObjectId::new(Importance::Low, 7))
+                .unwrap()
+                .seq,
+            1
+        );
+        let taken = q
+            .take_newest_for(ViewObjectId::new(Importance::Low, 7))
+            .unwrap();
         assert_eq!(taken.seq, 1);
         // Older duplicates remain when dedup is off.
         assert!(q.has_pending_for(ViewObjectId::new(Importance::Low, 7)));
@@ -523,7 +768,12 @@ mod tests {
         assert_eq!(out.deduped, 1);
         assert_eq!(q.len(), 1);
         assert_eq!(q.dedup_dropped(), 2);
-        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 2);
+        assert_eq!(
+            q.newest_for(ViewObjectId::new(Importance::Low, 7))
+                .unwrap()
+                .seq,
+            2
+        );
         assert!(q.check_invariants());
     }
 
@@ -536,7 +786,12 @@ mod tests {
         assert_eq!(out.deduped, 1);
         assert!(out.displaced.is_none());
         assert_eq!(q.len(), 1);
-        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 0);
+        assert_eq!(
+            q.newest_for(ViewObjectId::new(Importance::Low, 7))
+                .unwrap()
+                .seq,
+            0
+        );
         assert_eq!(q.dedup_dropped(), 1);
     }
 
@@ -579,7 +834,7 @@ mod tests {
         q.insert(upd(0, 0, 1.0)); // low, oldest generation overall
         q.insert(hupd(1, 0, 5.0)); // high
         q.insert(hupd(2, 1, 3.0)); // high
-        // High partition drains first (FIFO within it), then low.
+                                   // High partition drains first (FIFO within it), then low.
         assert_eq!(q.pop(false).unwrap().seq, 2);
         assert_eq!(q.pop(false).unwrap().seq, 1);
         assert_eq!(q.pop(false).unwrap().seq, 0);
@@ -591,10 +846,25 @@ mod tests {
         let mut q = DualUpdateQueue::new(10, false, true);
         q.insert(upd(0, 7, 1.0));
         q.insert(hupd(1, 7, 2.0));
-        assert_eq!(q.newest_for(ViewObjectId::new(Importance::Low, 7)).unwrap().seq, 0);
-        assert_eq!(q.newest_for(ViewObjectId::new(Importance::High, 7)).unwrap().seq, 1);
+        assert_eq!(
+            q.newest_for(ViewObjectId::new(Importance::Low, 7))
+                .unwrap()
+                .seq,
+            0
+        );
+        assert_eq!(
+            q.newest_for(ViewObjectId::new(Importance::High, 7))
+                .unwrap()
+                .seq,
+            1
+        );
         assert_eq!(q.len(), 2);
-        assert_eq!(q.take_newest_for(ViewObjectId::new(Importance::High, 7)).unwrap().seq, 1);
+        assert_eq!(
+            q.take_newest_for(ViewObjectId::new(Importance::High, 7))
+                .unwrap()
+                .seq,
+            1
+        );
         assert_eq!(q.len(), 1);
     }
 
@@ -652,5 +922,71 @@ mod tests {
         q.insert(upd(2, 2, 2.0));
         let gens: Vec<f64> = q.iter().map(|u| u.generation_ts.as_secs()).collect();
         assert_eq!(gens, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut q = UpdateQueue::new(1000, false);
+        // Churn far more updates than ever coexist: the arena must stay at
+        // the high-water mark instead of growing per insert.
+        for i in 0..10_000u64 {
+            q.insert(upd(i, (i % 16) as u32, i as f64 * 0.01));
+            if i >= 8 {
+                q.pop_oldest();
+            }
+        }
+        assert!(q.check_invariants());
+        assert!(q.slab_slots() <= 16, "arena grew to {}", q.slab_slots());
+    }
+
+    #[test]
+    fn matches_reference_on_mixed_workload() {
+        use super::reference::ReferenceUpdateQueue;
+        // Deterministic pseudo-random interleaving of every operation,
+        // checked step by step against the seed implementation.
+        let mut slab = UpdateQueue::new(8, true);
+        let mut oracle = ReferenceUpdateQueue::new(8, true);
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for seq in 0..4_000u64 {
+            let r = rng();
+            let obj = ViewObjectId::new(
+                if r & 1 == 0 {
+                    Importance::Low
+                } else {
+                    Importance::High
+                },
+                ((r >> 1) % 6) as u32,
+            );
+            let gen = (rng() % 1_000) as f64 * 0.1;
+            match rng() % 6 {
+                0 | 1 => {
+                    let u = Update {
+                        seq,
+                        object: obj,
+                        generation_ts: t(gen),
+                        arrival_ts: t(gen + 0.05),
+                        payload: seq as f64,
+                        attr_mask: Update::COMPLETE,
+                    };
+                    assert_eq!(slab.insert(u), oracle.insert(u));
+                }
+                2 => assert_eq!(slab.pop_oldest(), oracle.pop_oldest()),
+                3 => assert_eq!(slab.pop_newest(), oracle.pop_newest()),
+                4 => assert_eq!(slab.take_newest_for(obj), oracle.take_newest_for(obj)),
+                _ => assert_eq!(
+                    slab.discard_expired(t(gen), 20.0),
+                    oracle.discard_expired(t(gen), 20.0)
+                ),
+            }
+            assert_eq!(slab.len(), oracle.len());
+        }
+        assert!(slab.check_invariants());
+        assert!(slab.iter().eq(oracle.iter()));
     }
 }

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use strip_db::object::{Importance, ViewObjectId};
 use strip_db::update::Update;
+use strip_db::update_queue::reference::ReferenceUpdateQueue;
 use strip_db::update_queue::UpdateQueue;
 use strip_sim::time::SimTime;
 
@@ -55,12 +56,7 @@ impl Model {
         }
         self.items.push(u);
         if self.items.len() > cap {
-            let oldest = self
-                .items
-                .iter()
-                .map(Self::key)
-                .min()
-                .expect("non-empty");
+            let oldest = self.items.iter().map(Self::key).min().expect("non-empty");
             self.items.retain(|e| Self::key(e) != oldest);
         }
     }
@@ -147,12 +143,132 @@ fn run_ops(ops: Vec<Op>, cap: usize, dedup: bool) {
     }
 }
 
+/// Operations for the slab-vs-seed equivalence test: everything [`Op`]
+/// covers plus class-qualified objects, hot-first service, and per-object
+/// drain interleavings.
+#[derive(Debug, Clone)]
+enum XOp {
+    Insert { obj: u32, high: bool, gen_ms: u32 },
+    PopOldest,
+    PopNewest,
+    DiscardExpired { now_ms: u32, alpha_ms: u32 },
+    TakeNewestFor { obj: u32, high: bool },
+    DrainObject { obj: u32, high: bool },
+    PopHottest { salt: u64 },
+}
+
+fn xop_strategy() -> impl Strategy<Value = XOp> {
+    let id = || (0u32..12, proptest::bool::ANY);
+    prop_oneof![
+        5 => (id(), 0u32..10_000)
+            .prop_map(|((obj, high), gen_ms)| XOp::Insert { obj, high, gen_ms }),
+        2 => Just(XOp::PopOldest),
+        2 => Just(XOp::PopNewest),
+        1 => (0u32..12_000, 100u32..5_000)
+            .prop_map(|(now_ms, alpha_ms)| XOp::DiscardExpired { now_ms, alpha_ms }),
+        2 => id().prop_map(|(obj, high)| XOp::TakeNewestFor { obj, high }),
+        1 => id().prop_map(|(obj, high)| XOp::DrainObject { obj, high }),
+        1 => (0u64..u64::MAX).prop_map(|salt| XOp::PopHottest { salt }),
+    ]
+}
+
+fn vid(obj: u32, high: bool) -> ViewObjectId {
+    let class = if high {
+        Importance::High
+    } else {
+        Importance::Low
+    };
+    ViewObjectId::new(class, obj)
+}
+
+/// Drives the slab queue and the seed `BTreeMap` implementation through the
+/// same operation sequence, asserting identical observable behaviour after
+/// every step.
+fn run_xops(ops: Vec<XOp>, cap: usize, dedup: bool) {
+    let mut slab = UpdateQueue::new(cap, dedup);
+    let mut seed = ReferenceUpdateQueue::new(cap, dedup);
+    let mut seq = 0u64;
+    for op in ops {
+        match op {
+            XOp::Insert { obj, high, gen_ms } => {
+                let u = Update {
+                    object: vid(obj, high),
+                    ..mk_update(seq, obj, gen_ms)
+                };
+                seq += 1;
+                prop_assert_eq!(slab.insert(u), seed.insert(u));
+            }
+            XOp::PopOldest => prop_assert_eq!(slab.pop_oldest(), seed.pop_oldest()),
+            XOp::PopNewest => prop_assert_eq!(slab.pop_newest(), seed.pop_newest()),
+            XOp::DiscardExpired { now_ms, alpha_ms } => {
+                let now = SimTime::from_secs(f64::from(now_ms) / 1000.0);
+                let alpha = f64::from(alpha_ms) / 1000.0;
+                prop_assert_eq!(
+                    slab.discard_expired(now, alpha),
+                    seed.discard_expired(now, alpha)
+                );
+            }
+            XOp::TakeNewestFor { obj, high } => {
+                let id = vid(obj, high);
+                prop_assert_eq!(slab.newest_for(id).copied(), seed.newest_for(id).copied());
+                prop_assert_eq!(slab.take_newest_for(id), seed.take_newest_for(id));
+            }
+            XOp::DrainObject { obj, high } => {
+                // Interleaved per-object drain: empty one object's chain
+                // while the rest of the queue stays live.
+                let id = vid(obj, high);
+                loop {
+                    let (a, b) = (slab.take_newest_for(id), seed.take_newest_for(id));
+                    prop_assert_eq!(a, b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                prop_assert!(!slab.has_pending_for(id));
+            }
+            XOp::PopHottest { salt } => {
+                // A salted pseudo-score: arbitrary but identical for both
+                // sides, with deliberate collisions (mod 4) to exercise the
+                // smaller-id tie-break.
+                let score = move |id: ViewObjectId| (u64::from(id.index) ^ salt) % 4;
+                prop_assert_eq!(slab.pop_hottest(score), seed.pop_hottest(score));
+            }
+        }
+        prop_assert_eq!(slab.len(), seed.len());
+        prop_assert_eq!(slab.is_empty(), seed.is_empty());
+        prop_assert!(
+            slab.iter().eq(seed.iter()),
+            "generation-order iteration diverged"
+        );
+        prop_assert_eq!(slab.overflow_dropped(), seed.overflow_dropped());
+        prop_assert_eq!(slab.expired_dropped(), seed.expired_dropped());
+        prop_assert_eq!(slab.dedup_dropped(), seed.dedup_dropped());
+        prop_assert!(slab.check_invariants());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn queue_matches_model_plain(ops in prop::collection::vec(op_strategy(), 1..120), cap in 1usize..40) {
         run_ops(ops, cap, false);
+    }
+
+    #[test]
+    fn slab_matches_seed_btreemap_plain(
+        ops in prop::collection::vec(xop_strategy(), 1..160),
+        cap in 1usize..48,
+    ) {
+        run_xops(ops, cap, false);
+    }
+
+    #[test]
+    fn slab_matches_seed_btreemap_dedup(
+        ops in prop::collection::vec(xop_strategy(), 1..160),
+        cap in 1usize..48,
+    ) {
+        run_xops(ops, cap, true);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so a
+//! consumer with real serde could serialize them, but no code in this repo
+//! serializes anything. Since the build environment has no registry access,
+//! this tiny path crate satisfies `use serde::{Deserialize, Serialize}` by
+//! re-exporting no-op derive macros from the sibling `serde_derive` stub.
+//!
+//! Swapping back to crates.io serde is a one-line change in the workspace
+//! `Cargo.toml`; no source file needs to change.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

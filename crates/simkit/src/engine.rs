@@ -30,7 +30,11 @@ impl<'a, E> Ctx<'a, E> {
     ///
     /// Panics (in debug builds) if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         self.calendar.schedule(at, event);
     }
 
@@ -73,6 +77,18 @@ impl<E> Engine<E> {
     pub fn new() -> Self {
         Engine {
             calendar: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Creates an engine whose calendar has room for `cap` pending events,
+    /// so a model with a known steady-state population (e.g. one watchdog
+    /// per database object) runs without calendar reallocations.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            calendar: EventQueue::with_capacity(cap),
             now: SimTime::ZERO,
             processed: 0,
         }
@@ -149,10 +165,7 @@ mod tests {
         let mut sim = Countdown { fired: vec![] };
         engine.prime(SimTime::from_secs(0.5), 3);
         engine.run_until(&mut sim, SimTime::from_secs(100.0));
-        assert_eq!(
-            sim.fired,
-            vec![(0.5, 3), (1.5, 2), (2.5, 1), (3.5, 0)]
-        );
+        assert_eq!(sim.fired, vec![(0.5, 3), (1.5, 2), (2.5, 1), (3.5, 0)]);
         assert_eq!(engine.events_processed(), 4);
         assert_eq!(engine.now().as_secs(), 100.0);
     }

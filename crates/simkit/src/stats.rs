@@ -168,8 +168,7 @@ impl Welford {
         }
         let n_total = self.n + other.n;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.n as f64) * (other.n as f64) / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n_total as f64;
         self.mean += delta * other.n as f64 / n_total as f64;
         self.n = n_total;
     }
@@ -273,7 +272,7 @@ mod tests {
         let mut tw = TimeWeighted::new(t(0.0), 0.0);
         tw.set(t(1.0), 1.0); // 0 for [0,1)
         tw.set(t(3.0), 0.5); // 1 for [1,3)
-        // 0.5 for [3,5]
+                             // 0.5 for [3,5]
         assert!((tw.integral_through(t(5.0)) - (0.0 + 2.0 + 1.0)).abs() < 1e-12);
         assert!((tw.mean_over(t(0.0), t(5.0)) - 0.6).abs() < 1e-12);
     }

@@ -30,10 +30,7 @@ fn plan_strategy() -> impl Strategy<Value = Vec<Vec<(u16, u16)>>> {
     // Keep fan-out modest: branching chains double per step, so delays are
     // bounded below (≥ 100 ms) and most events schedule at most one
     // follow-up, keeping runs to a few thousand firings.
-    prop::collection::vec(
-        prop::collection::vec((100u16..500, 0u16..16), 0..2),
-        16,
-    )
+    prop::collection::vec(prop::collection::vec((100u16..500, 0u16..16), 0..2), 16)
 }
 
 proptest! {

@@ -242,10 +242,8 @@ impl TxnSource for PoissonTxns {
         let reads = (0..read_count)
             .map(|_| {
                 let index = match &self.skew {
-                    Some(zipf) => {
-                        zipf[usize::from(class == Importance::High)].sample_rank(&mut self.reads_rng)
-                            as u32
-                    }
+                    Some(zipf) => zipf[usize::from(class == Importance::High)]
+                        .sample_rank(&mut self.reads_rng) as u32,
                     None => self.reads_rng.next_below(u64::from(n)) as u32,
                 };
                 ViewObjectId::new(class, index)
@@ -349,7 +347,8 @@ impl PeriodicUpdates {
         } else {
             0.0
         };
-        let next_gen = SimTime::from_secs((gen.as_secs() + period + jitter).max(gen.as_secs() + 1e-9));
+        let next_gen =
+            SimTime::from_secs((gen.as_secs() + period + jitter).max(gen.as_secs() + 1e-9));
         self.emissions
             .push(std::cmp::Reverse((next_gen, self.seq, object)));
         self.seq += 1;
@@ -437,7 +436,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> SimConfig {
-        SimConfig::builder().duration(100.0).seed(7).build().unwrap()
+        SimConfig::builder()
+            .duration(100.0)
+            .seed(7)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -539,17 +542,31 @@ mod tests {
                 assert_eq!(r.class, t.class, "reads stay in the txn's class");
             }
         }
-        assert!((compute.mean() - 0.12).abs() < 0.002, "compute {}", compute.mean());
+        assert!(
+            (compute.mean() - 0.12).abs() < 0.002,
+            "compute {}",
+            compute.mean()
+        );
         // Rounded-and-clamped N(2,1): mean stays near 2 (clamp adds ~+0.03).
         assert!((reads.mean() - 2.0).abs() < 0.1, "reads {}", reads.mean());
         assert!(slack_min >= 0.1 && slack_max <= 1.0);
-        assert!((low_vals.mean() - 1.0).abs() < 0.05, "low {}", low_vals.mean());
-        assert!((high_vals.mean() - 2.0).abs() < 0.05, "high {}", high_vals.mean());
+        assert!(
+            (low_vals.mean() - 1.0).abs() < 0.05,
+            "low {}",
+            low_vals.mean()
+        );
+        assert!(
+            (high_vals.mean() - 2.0).abs() < 0.05,
+            "high {}",
+            high_vals.mean()
+        );
     }
 
     fn periodic_cfg(jitter: f64) -> SimConfig {
         SimConfig::builder()
-            .update_mode(strip_core::config::UpdateMode::Periodic { jitter_frac: jitter })
+            .update_mode(strip_core::config::UpdateMode::Periodic {
+                jitter_frac: jitter,
+            })
             .duration(50.0)
             .seed(13)
             .build()
@@ -578,7 +595,10 @@ mod tests {
         let mut per_obj: std::collections::HashMap<ViewObjectId, Vec<f64>> =
             std::collections::HashMap::new();
         while let Some(u) = src.next_update() {
-            per_obj.entry(u.object).or_default().push(u.generation_ts.as_secs());
+            per_obj
+                .entry(u.object)
+                .or_default()
+                .push(u.generation_ts.as_secs());
         }
         // Every object is covered...
         assert_eq!(per_obj.len(), 1000);
@@ -605,7 +625,10 @@ mod tests {
             }
         }
         let irregular = gaps.iter().filter(|g| (*g - 2.5).abs() > 0.01).count();
-        assert!(irregular > gaps.len() / 2, "jitter should perturb most gaps");
+        assert!(
+            irregular > gaps.len() / 2,
+            "jitter should perturb most gaps"
+        );
     }
 
     #[test]

@@ -26,24 +26,61 @@ fn main() {
     println!("-- transactions --");
     println!("arrived                    : {}", report.txns.arrived);
     println!("committed on time          : {}", report.txns.committed);
-    println!("  ... with only fresh data : {}", report.txns.committed_fresh);
-    println!("missed deadline            : {}", report.txns.missed_deadline);
-    println!("aborted infeasible         : {}", report.txns.aborted_infeasible);
-    println!("mean response time         : {:.4} s", report.txns.response_mean);
+    println!(
+        "  ... with only fresh data : {}",
+        report.txns.committed_fresh
+    );
+    println!(
+        "missed deadline            : {}",
+        report.txns.missed_deadline
+    );
+    println!(
+        "aborted infeasible         : {}",
+        report.txns.aborted_infeasible
+    );
+    println!(
+        "mean response time         : {:.4} s",
+        report.txns.response_mean
+    );
     println!();
     println!("-- update stream --");
     println!("updates arrived            : {}", report.updates.arrived);
-    println!("installed (background)     : {}", report.updates.installed_background);
-    println!("installed (on demand)      : {}", report.updates.installed_on_demand);
-    println!("superseded skips           : {}", report.updates.superseded_skips);
-    println!("expired discards           : {}", report.updates.expired_dropped);
+    println!(
+        "installed (background)     : {}",
+        report.updates.installed_background
+    );
+    println!(
+        "installed (on demand)      : {}",
+        report.updates.installed_on_demand
+    );
+    println!(
+        "superseded skips           : {}",
+        report.updates.superseded_skips
+    );
+    println!(
+        "expired discards           : {}",
+        report.updates.expired_dropped
+    );
     println!("largest update queue       : {}", report.updates.max_uq_len);
     println!();
     println!("-- the paper's metrics (§3.5) --");
     println!("pMD   (missed fraction)    : {:.4}", report.txns.p_md());
-    println!("psuccess                   : {:.4}", report.txns.p_success());
-    println!("psuc|nontardy              : {:.4}", report.txns.p_suc_nontardy());
+    println!(
+        "psuccess                   : {:.4}",
+        report.txns.p_success()
+    );
+    println!(
+        "psuc|nontardy              : {:.4}",
+        report.txns.p_suc_nontardy()
+    );
     println!("AV    (value / second)     : {:.4}", report.av());
-    println!("fold_l / fold_h            : {:.4} / {:.4}", report.fold_low, report.fold_high);
-    println!("rho_t / rho_u              : {:.4} / {:.4}", report.cpu.rho_t(), report.cpu.rho_u());
+    println!(
+        "fold_l / fold_h            : {:.4} / {:.4}",
+        report.fold_low, report.fold_high
+    );
+    println!(
+        "rho_t / rho_u              : {:.4} / {:.4}",
+        report.cpu.rho_t(),
+        report.cpu.rho_u()
+    );
 }

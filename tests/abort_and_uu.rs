@@ -25,7 +25,11 @@ fn aborts_make_tf_data_dramatically_fresher() {
     // updates; fold_h collapses relative to the no-abort case.
     let no_abort = run_cfg(Policy::TransactionsFirst, 15.0, |_| {});
     let with_abort = run_cfg(Policy::TransactionsFirst, 15.0, |c| c.abort_on_stale = true);
-    assert!(no_abort.fold_high > 0.8, "no-abort fold_h {}", no_abort.fold_high);
+    assert!(
+        no_abort.fold_high > 0.8,
+        "no-abort fold_h {}",
+        no_abort.fold_high
+    );
     assert!(
         with_abort.fold_high < 0.35,
         "abort fold_h {}",
@@ -50,8 +54,14 @@ fn od_wins_av_under_aborts_and_su_beats_tf_and_uf() {
     let tf = run_cfg(Policy::TransactionsFirst, 15.0, |c| c.abort_on_stale = true);
     let su = run_cfg(Policy::SplitUpdates, 15.0, |c| c.abort_on_stale = true);
     let od = run_cfg(Policy::OnDemand, 15.0, |c| c.abort_on_stale = true);
-    assert!(od.av() > uf.av() && od.av() > tf.av() && od.av() > su.av(),
-        "OD {} vs UF {} TF {} SU {}", od.av(), uf.av(), tf.av(), su.av());
+    assert!(
+        od.av() > uf.av() && od.av() > tf.av() && od.av() > su.av(),
+        "OD {} vs UF {} TF {} SU {}",
+        od.av(),
+        uf.av(),
+        tf.av(),
+        su.av()
+    );
     assert!(su.av() > uf.av(), "SU {} > UF {}", su.av(), uf.av());
     assert!(su.av() > tf.av(), "SU {} > TF {}", su.av(), tf.av());
 }
@@ -66,7 +76,11 @@ fn od_leads_psuccess_under_aborts_and_tf_recovers() {
     let su = run_cfg(Policy::SplitUpdates, 15.0, |c| c.abort_on_stale = true);
     let od = run_cfg(Policy::OnDemand, 15.0, |c| c.abort_on_stale = true);
     let pod = od.txns.p_success();
-    assert!(pod > uf.txns.p_success() + 0.05, "OD {pod} vs UF {}", uf.txns.p_success());
+    assert!(
+        pod > uf.txns.p_success() + 0.05,
+        "OD {pod} vs UF {}",
+        uf.txns.p_success()
+    );
     assert!(
         tf.txns.p_success() > su.txns.p_success() - 0.05,
         "TF {} comparable to SU {}",
@@ -115,12 +129,24 @@ fn uu_preserves_the_psuccess_ranking() {
     let tf = mk(Policy::TransactionsFirst);
     let su = mk(Policy::SplitUpdates);
     let od = mk(Policy::OnDemand);
-    assert!(od.txns.p_success() > uf.txns.p_success(),
-        "OD {} > UF {}", od.txns.p_success(), uf.txns.p_success());
-    assert!(uf.txns.p_success() > su.txns.p_success(),
-        "UF {} > SU {}", uf.txns.p_success(), su.txns.p_success());
-    assert!(su.txns.p_success() > tf.txns.p_success(),
-        "SU {} > TF {}", su.txns.p_success(), tf.txns.p_success());
+    assert!(
+        od.txns.p_success() > uf.txns.p_success(),
+        "OD {} > UF {}",
+        od.txns.p_success(),
+        uf.txns.p_success()
+    );
+    assert!(
+        uf.txns.p_success() > su.txns.p_success(),
+        "UF {} > SU {}",
+        uf.txns.p_success(),
+        su.txns.p_success()
+    );
+    assert!(
+        su.txns.p_success() > tf.txns.p_success(),
+        "SU {} > TF {}",
+        su.txns.p_success(),
+        tf.txns.p_success()
+    );
 }
 
 #[test]
@@ -169,10 +195,18 @@ fn heavier_installs_crush_uf_but_not_tf() {
     let uf_heavy = mk(Policy::UpdatesFirst, 50_000.0);
     let tf_light = mk(Policy::TransactionsFirst, 20_000.0);
     let tf_heavy = mk(Policy::TransactionsFirst, 50_000.0);
-    assert!(uf_heavy.av() < uf_light.av() - 1.0,
-        "UF heavy {} light {}", uf_heavy.av(), uf_light.av());
-    assert!((tf_heavy.av() - tf_light.av()).abs() < 1.0,
-        "TF heavy {} light {}", tf_heavy.av(), tf_light.av());
+    assert!(
+        uf_heavy.av() < uf_light.av() - 1.0,
+        "UF heavy {} light {}",
+        uf_heavy.av(),
+        uf_light.av()
+    );
+    assert!(
+        (tf_heavy.av() - tf_light.av()).abs() < 1.0,
+        "TF heavy {} light {}",
+        tf_heavy.av(),
+        tf_light.av()
+    );
 }
 
 #[test]
@@ -184,9 +218,16 @@ fn scan_cost_hurts_od_and_the_indexed_queue_rescues_it() {
     // the hash index over the queue (§4.4) — restores the lost value.
     let cheap = run_cfg(Policy::OnDemand, 10.0, |_| {});
     let costly = run_cfg(Policy::OnDemand, 10.0, |c| c.costs.x_scan = 10_000.0);
-    assert!(costly.av() < cheap.av() - 1.0, "costly {} cheap {}", costly.av(), cheap.av());
+    assert!(
+        costly.av() < cheap.av() - 1.0,
+        "costly {} cheap {}",
+        costly.av(),
+        cheap.av()
+    );
     let tf_cheap = run_cfg(Policy::TransactionsFirst, 10.0, |_| {});
-    let tf_costly = run_cfg(Policy::TransactionsFirst, 10.0, |c| c.costs.x_scan = 10_000.0);
+    let tf_costly = run_cfg(Policy::TransactionsFirst, 10.0, |c| {
+        c.costs.x_scan = 10_000.0
+    });
     assert!(
         (tf_costly.av() - tf_cheap.av()).abs() < 1.0,
         "TF insensitive under MA: {} vs {}",
@@ -210,7 +251,12 @@ fn higher_update_rate_helps_od_freshness_at_constant_value() {
     // Fig 9: OD holds AV while psuccess improves as λu rises.
     let slow = run_cfg(Policy::OnDemand, 10.0, |c| c.lambda_u = 200.0);
     let fast = run_cfg(Policy::OnDemand, 10.0, |c| c.lambda_u = 550.0);
-    assert!((slow.av() - fast.av()).abs() < 1.0, "AV {} vs {}", slow.av(), fast.av());
+    assert!(
+        (slow.av() - fast.av()).abs() < 1.0,
+        "AV {} vs {}",
+        slow.av(),
+        fast.av()
+    );
     assert!(
         fast.txns.p_success() > slow.txns.p_success(),
         "psuccess {} > {}",
@@ -220,5 +266,10 @@ fn higher_update_rate_helps_od_freshness_at_constant_value() {
     // ... while UF/SU lose value to the heavier stream (Fig 9b).
     let uf_slow = run_cfg(Policy::UpdatesFirst, 10.0, |c| c.lambda_u = 200.0);
     let uf_fast = run_cfg(Policy::UpdatesFirst, 10.0, |c| c.lambda_u = 550.0);
-    assert!(uf_fast.av() < uf_slow.av(), "UF AV {} < {}", uf_fast.av(), uf_slow.av());
+    assert!(
+        uf_fast.av() < uf_slow.av(),
+        "UF AV {} < {}",
+        uf_fast.av(),
+        uf_slow.av()
+    );
 }

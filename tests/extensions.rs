@@ -2,9 +2,7 @@
 //! and §7): periodic updates, partial updates, combined staleness, split
 //! update queue, historical views, triggered rules, and disk residency.
 
-use strip::core::config::{
-    HistoryAccess, IoModel, Policy, SimConfig, TriggerConfig, UpdateMode,
-};
+use strip::core::config::{HistoryAccess, IoModel, Policy, SimConfig, TriggerConfig, UpdateMode};
 use strip::db::history::HistoryPolicy;
 use strip::run_paper_sim;
 use strip::RunReport;
@@ -33,7 +31,11 @@ fn periodic_refresh_eliminates_uf_staleness() {
         c.policy = Policy::UpdatesFirst;
         c.update_mode = UpdateMode::Periodic { jitter_frac: 0.0 };
     });
-    assert!(aperiodic.fold_low > 0.04, "Poisson tail: {}", aperiodic.fold_low);
+    assert!(
+        aperiodic.fold_low > 0.04,
+        "Poisson tail: {}",
+        aperiodic.fold_low
+    );
     assert!(periodic.fold_low < 0.005, "periodic: {}", periodic.fold_low);
     // Aggregate update load is the same either way.
     assert!((periodic.cpu.rho_u() - aperiodic.cpu.rho_u()).abs() < 0.01);
@@ -44,7 +46,10 @@ fn periodic_jitter_keeps_rates_but_perturbs_phase() {
     let strict = run(|c| c.update_mode = UpdateMode::Periodic { jitter_frac: 0.0 });
     let jittered = run(|c| c.update_mode = UpdateMode::Periodic { jitter_frac: 0.5 });
     let ratio = jittered.updates.arrived as f64 / strict.updates.arrived as f64;
-    assert!((ratio - 1.0).abs() < 0.02, "arrival counts comparable: {ratio}");
+    assert!(
+        (ratio - 1.0).abs() < 0.02,
+        "arrival counts comparable: {ratio}"
+    );
 }
 
 #[test]
@@ -71,7 +76,11 @@ fn partial_updates_raise_staleness_at_equal_arrival_rate() {
 
 #[test]
 fn either_criterion_is_at_least_as_strict_as_both() {
-    for policy in [Policy::UpdatesFirst, Policy::TransactionsFirst, Policy::OnDemand] {
+    for policy in [
+        Policy::UpdatesFirst,
+        Policy::TransactionsFirst,
+        Policy::OnDemand,
+    ] {
         let ma = run(|c| c.policy = policy);
         let uu = run(|c| {
             c.policy = policy;
@@ -179,7 +188,10 @@ fn triggers_starve_under_tf_but_run_under_uf() {
     for r in [&tf, &uf] {
         assert_eq!(
             r.triggers.fired,
-            r.triggers.executed + r.triggers.coalesced + r.triggers.dropped + r.triggers.pending_at_end
+            r.triggers.executed
+                + r.triggers.coalesced
+                + r.triggers.dropped
+                + r.triggers.pending_at_end
         );
     }
 }
@@ -280,7 +292,10 @@ fn burst_collapses_and_releases_psuccess() {
     assert_eq!(r.timeline.len(), 12, "12 windows of 20 s");
     let mean = |range: std::ops::Range<usize>| {
         let ws = &r.timeline[range];
-        ws.iter().map(strip::core::report::TimelineWindow::p_success).sum::<f64>() / ws.len() as f64
+        ws.iter()
+            .map(strip::core::report::TimelineWindow::p_success)
+            .sum::<f64>()
+            / ws.len() as f64
     };
     let pre = mean(0..4);
     let during = mean(4..8);

@@ -12,10 +12,18 @@ use strip::run_paper_sim;
 type GoldenRow = (&'static str, u64, u64, u64, u64, u64, f64, f64, f64);
 
 const GOLDEN: [GoldenRow; 4] = [
-    ("UF", 582, 329, 278, 19516, 19944, 612.197719, 0.060291, 0.068052),
-    ("TF", 582, 399, 84, 4793, 19944, 708.263994, 0.791600, 0.795844),
-    ("SU", 582, 365, 223, 12807, 19944, 666.281404, 0.756990, 0.068051),
-    ("OD", 582, 395, 335, 5473, 19944, 703.014093, 0.748107, 0.734594),
+    (
+        "UF", 582, 329, 278, 19516, 19944, 612.197719, 0.060291, 0.068052,
+    ),
+    (
+        "TF", 582, 399, 84, 4793, 19944, 708.263994, 0.791600, 0.795844,
+    ),
+    (
+        "SU", 582, 365, 223, 12807, 19944, 666.281404, 0.756990, 0.068051,
+    ),
+    (
+        "OD", 582, 395, 335, 5473, 19944, 703.014093, 0.748107, 0.734594,
+    ),
 ];
 
 #[test]
@@ -33,7 +41,12 @@ fn golden_outputs_are_stable() {
         assert_eq!(r.txns.arrived, golden.1, "{}: arrived", golden.0);
         assert_eq!(r.txns.committed, golden.2, "{}: committed", golden.0);
         assert_eq!(r.txns.committed_fresh, golden.3, "{}: fresh", golden.0);
-        assert_eq!(r.updates.installed_total(), golden.4, "{}: installed", golden.0);
+        assert_eq!(
+            r.updates.installed_total(),
+            golden.4,
+            "{}: installed",
+            golden.0
+        );
         assert_eq!(r.updates.arrived, golden.5, "{}: updates arrived", golden.0);
         assert!(
             (r.txns.value_committed - golden.6).abs() < 1e-6,

@@ -50,7 +50,11 @@ fn tf_sheds_update_work_as_load_rises() {
     let low = run_at(Policy::TransactionsFirst, 2.0);
     let high = run_at(Policy::TransactionsFirst, 20.0);
     assert!(low.cpu.rho_u() > 0.15, "low-load rho_u {}", low.cpu.rho_u());
-    assert!(high.cpu.rho_u() < 0.02, "high-load rho_u {}", high.cpu.rho_u());
+    assert!(
+        high.cpu.rho_u() < 0.02,
+        "high-load rho_u {}",
+        high.cpu.rho_u()
+    );
 }
 
 #[test]
@@ -58,7 +62,11 @@ fn total_utilisation_saturates_identically() {
     // §6.1: total utilisation reaches 1 under overload for every algorithm.
     for r in all_at(20.0) {
         let util = r.cpu.utilization();
-        assert!(util > 0.98 && util <= 1.0 + 1e-9, "{}: util {util}", r.policy);
+        assert!(
+            util > 0.98 && util <= 1.0 + 1e-9,
+            "{}: util {util}",
+            r.policy
+        );
     }
     // And is far below 1 at light load.
     for r in all_at(2.0) {
@@ -70,9 +78,19 @@ fn total_utilisation_saturates_identically() {
 fn missed_deadline_ranking_matches_fig4a() {
     // Fig 4a at high load: TF and OD miss least; UF misses most.
     let [uf, tf, su, od] = all_at(15.0);
-    assert!(tf.txns.p_md() < su.txns.p_md(), "TF {} < SU {}", tf.txns.p_md(), su.txns.p_md());
+    assert!(
+        tf.txns.p_md() < su.txns.p_md(),
+        "TF {} < SU {}",
+        tf.txns.p_md(),
+        su.txns.p_md()
+    );
     assert!(od.txns.p_md() < su.txns.p_md());
-    assert!(su.txns.p_md() < uf.txns.p_md(), "SU {} < UF {}", su.txns.p_md(), uf.txns.p_md());
+    assert!(
+        su.txns.p_md() < uf.txns.p_md(),
+        "SU {} < UF {}",
+        su.txns.p_md(),
+        uf.txns.p_md()
+    );
 }
 
 #[test]
@@ -83,7 +101,12 @@ fn av_increases_with_load_despite_missing_more() {
         let low = run_at(policy, 5.0);
         let high = run_at(policy, 20.0);
         assert!(high.txns.p_md() > low.txns.p_md(), "{policy:?} misses more");
-        assert!(high.av() > low.av(), "{policy:?} earns more: {} vs {}", high.av(), low.av());
+        assert!(
+            high.av() > low.av(),
+            "{policy:?} earns more: {} vs {}",
+            high.av(),
+            low.av()
+        );
     }
 }
 
@@ -99,9 +122,19 @@ fn av_ranking_matches_fig4b() {
 fn staleness_matches_fig5() {
     let [uf, tf, su, od] = all_at(20.0);
     // UF keeps everything fresh (< 10%).
-    assert!(uf.fold_low < 0.10 && uf.fold_high < 0.10, "UF fold {} {}", uf.fold_low, uf.fold_high);
+    assert!(
+        uf.fold_low < 0.10 && uf.fold_high < 0.10,
+        "UF fold {} {}",
+        uf.fold_low,
+        uf.fold_high
+    );
     // TF lets almost everything go stale under load.
-    assert!(tf.fold_low > 0.85 && tf.fold_high > 0.85, "TF fold {} {}", tf.fold_low, tf.fold_high);
+    assert!(
+        tf.fold_low > 0.85 && tf.fold_high > 0.85,
+        "TF fold {} {}",
+        tf.fold_low,
+        tf.fold_high
+    );
     // SU protects the high-importance partition only.
     assert!(su.fold_high < 0.10, "SU fold_h {}", su.fold_high);
     assert!(su.fold_low > 0.5, "SU fold_l {}", su.fold_low);
@@ -131,9 +164,21 @@ fn psuc_nontardy_matches_fig6b() {
     // Fig 6b: for OD and UF, meeting the deadline almost implies fresh
     // data; for TF staleness dominates.
     let [uf, tf, _su, od] = all_at(15.0);
-    assert!(od.txns.p_suc_nontardy() > 0.8, "OD {}", od.txns.p_suc_nontardy());
-    assert!(uf.txns.p_suc_nontardy() > 0.8, "UF {}", uf.txns.p_suc_nontardy());
-    assert!(tf.txns.p_suc_nontardy() < 0.35, "TF {}", tf.txns.p_suc_nontardy());
+    assert!(
+        od.txns.p_suc_nontardy() > 0.8,
+        "OD {}",
+        od.txns.p_suc_nontardy()
+    );
+    assert!(
+        uf.txns.p_suc_nontardy() > 0.8,
+        "UF {}",
+        uf.txns.p_suc_nontardy()
+    );
+    assert!(
+        tf.txns.p_suc_nontardy() < 0.35,
+        "TF {}",
+        tf.txns.p_suc_nontardy()
+    );
 }
 
 #[test]
@@ -143,7 +188,12 @@ fn low_load_analytic_cross_checks() {
         assert!(r.txns.p_md() < 0.05, "{}: pMD {}", r.policy, r.txns.p_md());
         assert!((r.av() - 3.0).abs() < 0.3, "{}: AV {}", r.policy, r.av());
         // ρt ≈ λt · (compute + 2 lookups) ≈ 0.24.
-        assert!((r.cpu.rho_t() - 0.24).abs() < 0.03, "{}: rho_t {}", r.policy, r.cpu.rho_t());
+        assert!(
+            (r.cpu.rho_t() - 0.24).abs() < 0.03,
+            "{}: rho_t {}",
+            r.policy,
+            r.cpu.rho_t()
+        );
     }
 }
 
@@ -189,6 +239,14 @@ fn uf_steady_state_staleness_matches_poisson_tail() {
     // its Poisson refresh gap exceeds α: P = exp(-α·rate) = exp(-2.8).
     let r = run_at(Policy::UpdatesFirst, 5.0);
     let expect = (-2.8f64).exp();
-    assert!((r.fold_low - expect).abs() < 0.02, "fold_low {} vs {expect}", r.fold_low);
-    assert!((r.fold_high - expect).abs() < 0.02, "fold_high {}", r.fold_high);
+    assert!(
+        (r.fold_low - expect).abs() < 0.02,
+        "fold_low {} vs {expect}",
+        r.fold_low
+    );
+    assert!(
+        (r.fold_high - expect).abs() < 0.02,
+        "fold_high {}",
+        r.fold_high
+    );
 }
