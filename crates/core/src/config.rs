@@ -181,6 +181,86 @@ pub struct BurstSpec {
     pub factor: f64,
 }
 
+/// Disturbances applied to the update arrival stream (robustness
+/// extension). The paper assumes a well-behaved Poisson stream; real ticker
+/// feeds burst, drop out, jitter, duplicate and reorder. Each disturbance is
+/// a *delay-only* transform of the base stream, driven by its own RNG
+/// sub-stream, so the undisturbed baseline stays bit-identical and the
+/// disturbed stream still delivers arrivals in non-decreasing time order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbanceSpec {
+    /// Deliver arrivals in batches of this size: each group of consecutive
+    /// arrivals is held and released together at the group's latest release
+    /// time. 1 = no batching.
+    pub burst_size: u32,
+    /// Start of the feed outage, seconds (meaningful when `outage_secs > 0`).
+    pub outage_from: f64,
+    /// Outage length, seconds: arrivals generated inside
+    /// `[outage_from, outage_from + outage_secs)` are held and released as a
+    /// catch-up flood when the feed returns. 0 = no outage.
+    pub outage_secs: f64,
+    /// Per-arrival delivery jitter: each arrival is delayed by an extra
+    /// `U[0, jitter_max)` seconds. 0 = none.
+    pub jitter_max: f64,
+    /// Probability an arrival is delivered twice (the duplicate trails by
+    /// `U[0, duplicate_lag)` seconds).
+    pub p_duplicate: f64,
+    /// Maximum extra delay of a duplicate copy, seconds.
+    pub duplicate_lag: f64,
+    /// Probability an arrival is delayed by an extra `U[0, reorder_lag)`
+    /// seconds — long enough to slip behind later arrivals, i.e.
+    /// out-of-order delivery.
+    pub p_reorder: f64,
+    /// Maximum extra delay of a reordered arrival, seconds.
+    pub reorder_lag: f64,
+}
+
+impl Default for DisturbanceSpec {
+    /// Every disturbance off: wrapping the stream with this spec is a
+    /// behavioural no-op (used to test transparency of the layer).
+    fn default() -> Self {
+        DisturbanceSpec {
+            burst_size: 1,
+            outage_from: 0.0,
+            outage_secs: 0.0,
+            jitter_max: 0.0,
+            p_duplicate: 0.0,
+            duplicate_lag: 0.05,
+            p_reorder: 0.0,
+            reorder_lag: 0.2,
+        }
+    }
+}
+
+impl DisturbanceSpec {
+    /// The outage window `[start, end)` in seconds, if an outage is
+    /// configured.
+    #[must_use]
+    pub fn outage_window(&self) -> Option<(f64, f64)> {
+        (self.outage_secs > 0.0).then_some((self.outage_from, self.outage_from + self.outage_secs))
+    }
+}
+
+/// Controller-side admission control (robustness extension): when the
+/// estimated CPU utilisation (busy time since warm-up over elapsed time)
+/// exceeds `util_threshold`, arriving low-importance updates are shed before
+/// entering the OS queue — spending the remaining headroom on transactions
+/// and high-importance freshness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    /// Estimated-utilisation threshold above which low-importance arrivals
+    /// are shed, in `[0, 1]`.
+    pub util_threshold: f64,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            util_threshold: 0.9,
+        }
+    }
+}
+
 /// Service order of the update queue (§4.2, Figure 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueuePolicy {
@@ -198,6 +278,9 @@ pub enum QueuePolicy {
 
 /// Re-export of the staleness criterion for convenience.
 pub use strip_db::staleness::StalenessSpec as StalenessDef;
+
+/// Re-export of the queue overflow shedding policy for convenience.
+pub use strip_db::shed::ShedPolicy;
 
 /// Full simulation configuration. Field names follow the paper's symbols;
 /// see Tables 1–3.
@@ -261,6 +344,12 @@ pub struct SimConfig {
     pub os_max: usize,
     /// Maximum size of the update queue, in updates (UQ_max).
     pub uq_max: usize,
+    /// OS-queue overflow shedding policy (paper §3.3: the kernel rejects the
+    /// arriving message, i.e. `DropNewest`).
+    pub os_shed: ShedPolicy,
+    /// Update-queue overflow shedding policy (paper §4.2: discard the oldest
+    /// generation, i.e. `DropOldest`).
+    pub uq_shed: ShedPolicy,
     /// Only schedule transactions that can still meet their deadline
     /// (feasible_dl).
     pub feasible_deadline: bool,
@@ -303,6 +392,12 @@ pub struct SimConfig {
     /// Disk-resident buffer-pool model (paper §7 extension); `None` = the
     /// paper's main-memory database.
     pub io: Option<IoModel>,
+    /// Disturbances applied to the update stream (robustness extension);
+    /// `None` = the paper's well-behaved stream.
+    pub disturbance: Option<DisturbanceSpec>,
+    /// Controller admission control (robustness extension); `None` = admit
+    /// every arrival the OS queue can hold.
+    pub admission: Option<AdmissionControl>,
     /// Number of general-data objects (cost folded into compute time; the
     /// store still carries real general data for API users).
     pub n_general: u32,
@@ -348,6 +443,8 @@ impl Default for SimConfig {
             costs: CostModel::default(),
             os_max: 4_000,
             uq_max: 5_600,
+            os_shed: ShedPolicy::DropNewest,
+            uq_shed: ShedPolicy::DropOldest,
             feasible_deadline: true,
             txn_preemption: false,
             queue_policy: QueuePolicy::Fifo,
@@ -361,6 +458,8 @@ impl Default for SimConfig {
             history: None,
             triggers: None,
             io: None,
+            disturbance: None,
+            admission: None,
             n_general: 100,
             duration: 1_000.0,
             warmup: 0.0,
@@ -523,6 +622,43 @@ impl SimConfig {
                 "rules need general objects to derive into",
             )?;
         }
+        if let Some(d) = self.disturbance {
+            check(d.burst_size >= 1, "disturbance burst_size must be >= 1")?;
+            check(
+                d.outage_from >= 0.0 && d.outage_from.is_finite(),
+                "disturbance outage_from must be >= 0",
+            )?;
+            check(
+                d.outage_secs >= 0.0 && d.outage_secs.is_finite(),
+                "disturbance outage_secs must be >= 0",
+            )?;
+            check(
+                d.jitter_max >= 0.0 && d.jitter_max.is_finite(),
+                "disturbance jitter_max must be >= 0",
+            )?;
+            check(
+                (0.0..=1.0).contains(&d.p_duplicate),
+                "disturbance p_duplicate must be in [0,1]",
+            )?;
+            check(
+                d.duplicate_lag >= 0.0 && d.duplicate_lag.is_finite(),
+                "disturbance duplicate_lag must be >= 0",
+            )?;
+            check(
+                (0.0..=1.0).contains(&d.p_reorder),
+                "disturbance p_reorder must be in [0,1]",
+            )?;
+            check(
+                d.reorder_lag >= 0.0 && d.reorder_lag.is_finite(),
+                "disturbance reorder_lag must be >= 0",
+            )?;
+        }
+        if let Some(a) = self.admission {
+            check(
+                (0.0..=1.0).contains(&a.util_threshold),
+                "admission util_threshold must be in [0,1]",
+            )?;
+        }
         if let UpdateMode::Periodic { jitter_frac } = self.update_mode {
             check(
                 (0.0..=1.0).contains(&jitter_frac),
@@ -638,6 +774,14 @@ impl SimConfigBuilder {
         os_max: usize);
     setter!(/// Sets the update queue bound.
         uq_max: usize);
+    setter!(/// Sets the OS-queue overflow shedding policy.
+        os_shed: ShedPolicy);
+    setter!(/// Sets the update-queue overflow shedding policy.
+        uq_shed: ShedPolicy);
+    setter!(/// Applies disturbances to the update stream.
+        disturbance: Option<DisturbanceSpec>);
+    setter!(/// Enables controller admission control.
+        admission: Option<AdmissionControl>);
     setter!(/// Enables/disables feasible-deadline scheduling.
         feasible_deadline: bool);
     setter!(/// Enables/disables transaction-transaction preemption.
@@ -779,6 +923,44 @@ mod tests {
             .build()
             .is_err());
         assert!(SimConfig::builder().n_low(0).n_high(0).build().is_err());
+        assert!(SimConfig::builder()
+            .disturbance(Some(DisturbanceSpec {
+                burst_size: 0,
+                ..DisturbanceSpec::default()
+            }))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .disturbance(Some(DisturbanceSpec {
+                p_duplicate: 1.5,
+                ..DisturbanceSpec::default()
+            }))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .admission(Some(AdmissionControl {
+                util_threshold: -0.1,
+            }))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn resilience_defaults_are_off() {
+        let c = SimConfig::default();
+        assert_eq!(c.os_shed, ShedPolicy::DropNewest);
+        assert_eq!(c.uq_shed, ShedPolicy::DropOldest);
+        assert!(c.disturbance.is_none());
+        assert!(c.admission.is_none());
+        // The neutral disturbance spec is valid and declares no outage.
+        let d = DisturbanceSpec::default();
+        assert_eq!(d.outage_window(), None);
+        let d = DisturbanceSpec {
+            outage_from: 100.0,
+            outage_secs: 5.0,
+            ..DisturbanceSpec::default()
+        };
+        assert_eq!(d.outage_window(), Some((100.0, 105.0)));
     }
 
     #[test]

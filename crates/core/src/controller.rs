@@ -37,10 +37,10 @@ use strip_sim::engine::{Ctx, Engine, Simulation};
 use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
 
-use crate::config::{Policy, QueuePolicy, SimConfig};
+use crate::config::{ConfigError, Policy, QueuePolicy, SimConfig};
 use crate::metrics::{AbortReason, Activity, InstallPath, Metrics, QueueDrops};
 use crate::ready::ReadyQueue;
-use crate::report::RunReport;
+use crate::report::{ResilienceStats, RunReport};
 use crate::sources::{TxnSource, UpdateSource};
 use crate::txn::{Segment, Transaction, TxnSpec};
 
@@ -167,6 +167,14 @@ pub struct Controller<U, T> {
     /// Per-object view-read counts, feeding the HotFirst discipline
     /// (indexed `[class][index]`).
     read_counts: [Vec<u64>; 2],
+    /// Outage window from the disturbance spec (robustness extension),
+    /// driving the staleness-recovery measurement.
+    outage: Option<(SimTime, SimTime)>,
+    /// Stale-object count sampled at the first event inside the outage.
+    outage_baseline: Option<f64>,
+    /// First post-outage event at which staleness was back at (or below)
+    /// the baseline.
+    recovery_at: Option<SimTime>,
 }
 
 impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
@@ -178,7 +186,18 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     /// Panics if `cfg` fails validation.
     #[must_use]
     pub fn new(cfg: SimConfig, update_src: U, txn_src: T) -> Self {
-        cfg.validate().expect("invalid SimConfig");
+        Self::try_new(cfg, update_src, txn_src).expect("invalid SimConfig")
+    }
+
+    /// Fallible variant of [`Controller::new`]: surfaces the validation
+    /// error instead of panicking, so sweep drivers can report a bad
+    /// config point without aborting the whole campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cfg` fails validation.
+    pub fn try_new(cfg: SimConfig, update_src: U, txn_src: T) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let costs = cfg.costs;
         let alpha = cfg.staleness.alpha();
         let root = Xoshiro256pp::seed_from_u64(cfg.seed);
@@ -240,13 +259,22 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 &mut rule_rng,
             )
         });
-        Controller {
+        let outage = cfg
+            .disturbance
+            .and_then(|d| d.outage_window())
+            .map(|(from, to)| (SimTime::from_secs(from), SimTime::from_secs(to)));
+        Ok(Controller {
             costs,
             alpha,
             store,
             tracker,
-            os_queue: OsQueue::new(cfg.os_max),
-            uq: DualUpdateQueue::new(cfg.uq_max, cfg.indexed_queue, cfg.split_update_queue),
+            os_queue: OsQueue::with_shed(cfg.os_max, cfg.os_shed),
+            uq: DualUpdateQueue::with_shed(
+                cfg.uq_max,
+                cfg.indexed_queue,
+                cfg.split_update_queue,
+                cfg.uq_shed,
+            ),
             ready: ReadyQueue::new(),
             running: None,
             cpu: CpuState::Idle,
@@ -264,8 +292,11 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             rule_pending: std::collections::HashSet::new(),
             io_rng: root.substream(0xD15C),
             read_counts: [vec![0; cfg.n_low as usize], vec![0; cfg.n_high as usize]],
+            outage,
+            outage_baseline: None,
+            recovery_at: None,
             cfg,
-        }
+        })
     }
 
     /// Draws the buffer-pool miss penalty for one object access (seconds);
@@ -351,6 +382,19 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             left_in_uq: self.uq.len() as u64,
             in_flight: in_flight_install + pending_od,
         };
+        let stream = self.update_src.disturbance_stats();
+        let resilience = ResilienceStats {
+            duplicated: stream.duplicated,
+            reordered: stream.reordered,
+            outage_held: stream.outage_held,
+            burst_grouped: stream.burst_grouped,
+            // Filled in from the update counters by `Metrics::finalize`.
+            admission_shed: 0,
+            recovery_secs: match (self.outage, self.recovery_at) {
+                (Some((_, outage_end)), Some(at)) => Some(at.since(outage_end)),
+                _ => None,
+            },
+        };
         self.metrics.finalize(
             self.cfg.policy.label(),
             self.cfg.seed,
@@ -358,6 +402,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             end,
             &self.tracker,
             drops,
+            resilience,
             events,
         )
     }
@@ -378,6 +423,83 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     #[must_use]
     pub fn update_queue_len(&self) -> usize {
         self.uq.len()
+    }
+
+    // ---- scheduling invariants ----------------------------------------------
+
+    /// The running transaction, with a descriptive panic when the
+    /// scheduling invariant (an event that implies a bound transaction)
+    /// is violated. Takes the field rather than `&mut self` so callers
+    /// can keep other field borrows alive.
+    fn running<'a>(
+        running: &'a mut Option<RunningTxn>,
+        now: SimTime,
+        event: &str,
+    ) -> &'a mut RunningTxn {
+        running.as_mut().unwrap_or_else(|| {
+            panic!(
+                "invariant violated: no running transaction at t={:.6}s while handling {event}",
+                now.as_secs()
+            )
+        })
+    }
+
+    /// Unbinds and returns the running transaction; panics like
+    /// [`Controller::running`] when the invariant is violated.
+    fn take_running(running: &mut Option<RunningTxn>, now: SimTime, event: &str) -> RunningTxn {
+        running.take().unwrap_or_else(|| {
+            panic!(
+                "invariant violated: no running transaction at t={:.6}s while handling {event}",
+                now.as_secs()
+            )
+        })
+    }
+
+    // ---- resilience (robustness extension) ----------------------------------
+
+    /// Currently-stale view objects across both classes (UU/MA per the
+    /// configured criterion).
+    fn stale_total(&self) -> f64 {
+        self.tracker.stale_count(Importance::Low) + self.tracker.stale_count(Importance::High)
+    }
+
+    /// Tracks staleness recovery around a configured outage window,
+    /// sampled at event granularity: the baseline is the stale count at
+    /// the first event inside the outage (arrivals have just stopped, so
+    /// this is the pre-outage operating level), and recovery is the first
+    /// post-outage event at which the count is back at or below it.
+    fn note_resilience(&mut self, now: SimTime) {
+        let Some((start, end)) = self.outage else {
+            return;
+        };
+        if self.recovery_at.is_some() || now < start {
+            return;
+        }
+        let Some(baseline) = self.outage_baseline else {
+            self.outage_baseline = Some(self.stale_total());
+            return;
+        };
+        if now >= end && self.stale_total() <= baseline {
+            self.recovery_at = Some(now);
+        }
+    }
+
+    /// True when the admission controller sheds this arrival: low
+    /// importance only, and the measured CPU utilisation so far exceeds
+    /// the configured threshold.
+    fn admission_sheds(&self, class: Importance, now: SimTime) -> bool {
+        let Some(admission) = self.cfg.admission else {
+            return false;
+        };
+        if class != Importance::Low {
+            return false;
+        }
+        let elapsed = now.as_secs();
+        if elapsed <= 0.0 {
+            return false;
+        }
+        let busy = self.metrics.busy_update_so_far() + self.metrics.busy_txn_so_far();
+        busy / elapsed > admission.util_threshold
     }
 
     // ---- slice management ---------------------------------------------------
@@ -617,12 +739,12 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     /// Schedules the running transaction's current slice. Returns `false`
     /// if the transaction was aborted instead (infeasible).
     fn resume_running(&mut self, now: SimTime, ctx: &mut Ctx<'_, Event>) -> bool {
-        let rt = self.running.as_ref().expect("running txn");
+        let rt = Self::running(&mut self.running, now, "resume of the bound transaction");
         if self.cfg.feasible_deadline
             && matches!(rt.slice, TxnSliceKind::Segment)
             && !rt.txn.feasible_at(now)
         {
-            let rt = self.running.take().expect("running txn");
+            let rt = Self::take_running(&mut self.running, now, "infeasibility abort at resume");
             self.metrics
                 .txn_aborted_at(&rt.txn, AbortReason::Infeasible, now);
             return false;
@@ -756,6 +878,21 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         ctx: &mut Ctx<'_, Event>,
     ) {
         debug_assert!(spec.arrival == now);
+        // Admission control (robustness extension): past the utilisation
+        // threshold, low-importance arrivals are shed before the OS queue.
+        // The object still becomes UU-stale — the external world moved on
+        // whether or not the message was kept.
+        if self.admission_sheds(spec.object.class, now) {
+            self.metrics.update_admission_shed(now);
+            self.tracker
+                .on_receive(spec.object, spec.generation_ts, now);
+            self.metrics
+                .observe_queue_lengths(self.os_queue.len(), self.uq.len());
+            if let Some(next) = self.update_src.next_update() {
+                ctx.schedule_at(next.arrival, Event::UpdateArrival(next));
+            }
+            return;
+        }
         let update = Update {
             seq: self.update_seq,
             object: spec.object,
@@ -765,8 +902,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             attr_mask: spec.attr_mask,
         };
         self.update_seq += 1;
-        let accepted = self.os_queue.deliver(update);
-        self.metrics.update_arrived(now, accepted);
+        // Exactly one update is lost per overflow event, whichever victim
+        // the shedding policy picked.
+        let outcome = self.os_queue.deliver(update);
+        self.metrics.update_arrived(now, !outcome.lost_one());
         // The system has been handed this update: under UU the object is now
         // stale until a value at least this recent is installed.
         self.tracker
@@ -882,7 +1021,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     fn on_txn_slice_done(&mut self, kind: TxnSliceKind, now: SimTime, ctx: &mut Ctx<'_, Event>) {
         match kind {
             TxnSliceKind::Segment => {
-                let rt = self.running.as_mut().expect("running txn");
+                let rt = Self::running(&mut self.running, now, "segment completion");
                 let finished = rt.txn.complete_segment();
                 rt.txn.arm_segment(&self.costs);
                 match finished {
@@ -894,7 +1033,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                         // staleness check.
                         let stall = self.io_penalty(now, false);
                         if stall > 0.0 {
-                            let rt = self.running.as_mut().expect("running txn");
+                            let rt = Self::running(&mut self.running, now, "view-read buffer miss");
                             rt.slice = TxnSliceKind::IoStall {
                                 obj,
                                 remaining: stall,
@@ -916,14 +1055,20 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             }
             TxnSliceKind::StaleScan { obj, .. } => self.handle_post_scan(obj, now, ctx),
             TxnSliceKind::IoStall { obj, .. } => {
-                let rt = self.running.as_mut().expect("running txn");
+                let rt = Self::running(&mut self.running, now, "I/O stall completion");
                 rt.slice = TxnSliceKind::Segment;
                 self.handle_view_read(obj, now, ctx);
             }
             TxnSliceKind::OdApply { obj, .. } => {
-                let rt = self.running.as_mut().expect("running txn");
+                let rt = Self::running(&mut self.running, now, "on-demand apply completion");
                 rt.slice = TxnSliceKind::Segment;
-                let update = rt.pending_apply.take().expect("pending OD update");
+                let update = rt.pending_apply.take().unwrap_or_else(|| {
+                    panic!(
+                        "invariant violated: no pending OD update at t={:.6}s \
+                         while handling on-demand apply completion",
+                        now.as_secs()
+                    )
+                });
                 if self.apply_update(&update, now, ctx) {
                     self.metrics.update_installed(now, InstallPath::OnDemand);
                 } else {
@@ -947,10 +1092,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                     access.lag_min + (access.lag_max - access.lag_min) * self.hist_rng.next_f64();
                 let as_of = SimTime::from_secs(now.as_secs() - lag);
                 let hit = history.value_as_of(obj, as_of).is_some();
-                let arrival = self
-                    .running
-                    .as_ref()
-                    .expect("running txn")
+                let arrival = Self::running(&mut self.running, now, "historical view read")
                     .txn
                     .spec()
                     .arrival;
@@ -993,7 +1135,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             self.costs.scan_time(self.uq.len())
         };
         if duration > 0.0 {
-            let rt = self.running.as_mut().expect("running txn");
+            let rt = Self::running(&mut self.running, now, "start of a staleness scan");
             rt.slice = TxnSliceKind::StaleScan {
                 obj,
                 remaining: duration,
@@ -1038,7 +1180,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 // Applying the found update costs x_update (the object is
                 // already located by the read's lookup — §5.3).
                 let duration = self.costs.update_write_time();
-                let rt = self.running.as_mut().expect("running txn");
+                let rt = Self::running(&mut self.running, now, "on-demand refresh decision");
                 rt.pending_apply = Some(update);
                 if duration > 0.0 {
                     rt.slice = TxnSliceKind::OdApply {
@@ -1093,14 +1235,14 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 self.store.is_stale_ma(obj, now, alpha) || queue_visible_uu()
             }
         };
-        let rt = self.running.as_mut().expect("running txn");
+        let rt = Self::running(&mut self.running, now, "view-read finalisation");
         let arrival = rt.txn.spec().arrival;
         if metric_stale {
             rt.txn.mark_stale_read();
         }
         self.metrics.view_read(arrival, metric_stale);
         if self.cfg.abort_on_stale && sys_stale {
-            let rt = self.running.take().expect("running txn");
+            let rt = Self::take_running(&mut self.running, now, "abort-on-stale");
             self.metrics
                 .txn_aborted_at(&rt.txn, AbortReason::StaleRead, now);
             self.dispatch(now, ctx);
@@ -1111,9 +1253,9 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
 
     /// Starts the next planned segment, or commits if the plan is complete.
     fn continue_txn(&mut self, now: SimTime, ctx: &mut Ctx<'_, Event>) {
-        let rt = self.running.as_ref().expect("running txn");
+        let rt = Self::running(&mut self.running, now, "transaction continuation");
         if rt.txn.finished() {
-            let rt = self.running.take().expect("running txn");
+            let rt = Self::take_running(&mut self.running, now, "commit");
             debug_assert!(
                 now <= rt.txn.deadline() + 1e-9,
                 "commit after deadline should have been cut off by the watchdog"
@@ -1143,7 +1285,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             if on_cpu {
                 self.interrupt_slice(now);
             }
-            let rt = self.running.take().expect("running txn");
+            let rt = Self::take_running(&mut self.running, now, "deadline abort");
             self.metrics
                 .txn_aborted_at(&rt.txn, AbortReason::MissedDeadline, now);
             if on_cpu {
@@ -1168,6 +1310,7 @@ impl<U: UpdateSource, T: TxnSource> Simulation for Controller<U, T> {
         if now > self.horizon {
             return;
         }
+        self.note_resilience(now);
         match event {
             Event::UpdateArrival(spec) => self.on_update_arrival(spec, now, ctx),
             Event::TxnArrival(spec) => self.on_txn_arrival(spec, now, ctx),
@@ -1220,10 +1363,24 @@ pub fn run_simulation<U: UpdateSource, T: TxnSource>(
     update_src: U,
     txn_src: T,
 ) -> RunReport {
-    let mut controller = Controller::new(cfg.clone(), update_src, txn_src);
+    run_simulation_checked(cfg, update_src, txn_src).expect("invalid SimConfig")
+}
+
+/// Fallible variant of [`run_simulation`]: surfaces config-validation
+/// failures as a value so sweep drivers can record them per point.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `cfg` fails validation.
+pub fn run_simulation_checked<U: UpdateSource, T: TxnSource>(
+    cfg: &SimConfig,
+    update_src: U,
+    txn_src: T,
+) -> Result<RunReport, ConfigError> {
+    let mut controller = Controller::try_new(cfg.clone(), update_src, txn_src)?;
     let mut engine = Engine::with_capacity(cfg.calendar_capacity_hint());
     controller.prime(&mut engine);
     let horizon = SimTime::from_secs(cfg.duration);
     engine.run_until(&mut controller, horizon);
-    controller.finalize(horizon, engine.events_processed())
+    Ok(controller.finalize(horizon, engine.events_processed()))
 }

@@ -12,7 +12,8 @@ use strip_sim::stats::Welford;
 use strip_sim::time::SimTime;
 
 use crate::report::{
-    CpuStats, HistoryStats, RunReport, TimelineWindow, TriggerStats, TxnCounts, UpdateCounts,
+    CpuStats, HistoryStats, ResilienceStats, RunReport, TimelineWindow, TriggerStats, TxnCounts,
+    UpdateCounts,
 };
 use crate::txn::Transaction;
 
@@ -250,6 +251,16 @@ impl Metrics {
         }
     }
 
+    /// A low-importance arrival was shed by controller admission control
+    /// before reaching the OS queue (robustness extension). Counts as
+    /// arrived + shed, never as an OS drop.
+    pub fn update_admission_shed(&mut self, arrival: SimTime) {
+        if self.in_window(arrival) {
+            self.updates.arrived += 1;
+            self.updates.admission_shed += 1;
+        }
+    }
+
     /// An update entered the application-level update queue.
     pub fn update_enqueued(&mut self, now: SimTime) {
         if self.in_window(now) {
@@ -315,7 +326,9 @@ impl Metrics {
 
     /// Closes the window at `end` and produces the report. Queue-side drop
     /// counters are read from the queue structures by the controller and
-    /// passed in via `queue_drops`.
+    /// passed in via `queue_drops`; disturbance counters and the recovery
+    /// time come pre-assembled in `resilience` (the admission-shed mirror is
+    /// filled in here from this collector's own counter).
     #[allow(clippy::too_many_arguments)]
     pub fn finalize(
         mut self,
@@ -325,6 +338,7 @@ impl Metrics {
         end: SimTime,
         tracker: &StalenessTracker,
         queue_drops: QueueDrops,
+        mut resilience: ResilienceStats,
         events_processed: u64,
     ) -> RunReport {
         debug_assert!(
@@ -347,6 +361,7 @@ impl Metrics {
         self.updates.in_flight_at_end = queue_drops.in_flight;
         self.txns.response_mean = self.response.mean();
         self.txns.response_sd = self.response.std_dev();
+        resilience.admission_shed = self.updates.admission_shed;
         RunReport {
             policy: policy_label.to_string(),
             seed,
@@ -362,6 +377,7 @@ impl Metrics {
                 t.lag_mean = self.rule_lag.mean();
                 t
             },
+            resilience,
             timeline: self.timeline,
             cpu: CpuStats {
                 busy_txn: self.busy_txn,
@@ -463,7 +479,16 @@ mod tests {
         m.update_arrived(t(15.0), false);
         let tr = tracker();
         m.snapshot_warmup(&tr, t(10.0));
-        let r = m.finalize("TF", 1, 20.0, t(20.0), &tr, QueueDrops::default(), 0);
+        let r = m.finalize(
+            "TF",
+            1,
+            20.0,
+            t(20.0),
+            &tr,
+            QueueDrops::default(),
+            ResilienceStats::default(),
+            0,
+        );
         assert_eq!(r.txns.arrived, 1);
         assert_eq!(r.txns.committed, 1);
         assert_eq!(r.txns.missed_deadline, 0);
@@ -493,7 +518,16 @@ mod tests {
         tr.on_receive(id, t(2.0), t(2.0));
         let mut m = Metrics::new(t(10.0));
         m.snapshot_warmup(&tr, t(10.0));
-        let r = m.finalize("TF", 1, 30.0, t(30.0), &tr, QueueDrops::default(), 0);
+        let r = m.finalize(
+            "TF",
+            1,
+            30.0,
+            t(30.0),
+            &tr,
+            QueueDrops::default(),
+            ResilienceStats::default(),
+            0,
+        );
         // Stale throughout the 20s window.
         assert!((r.fold_low - 1.0).abs() < 1e-12);
     }
@@ -507,7 +541,16 @@ mod tests {
         m.txn_committed(&b, t(3.0));
         let tr = tracker();
         m.snapshot_warmup(&tr, t(0.0));
-        let r = m.finalize("TF", 1, 10.0, t(10.0), &tr, QueueDrops::default(), 0);
+        let r = m.finalize(
+            "TF",
+            1,
+            10.0,
+            t(10.0),
+            &tr,
+            QueueDrops::default(),
+            ResilienceStats::default(),
+            0,
+        );
         assert!((r.txns.response_mean - 0.75).abs() < 1e-12);
     }
 
@@ -530,6 +573,7 @@ mod tests {
                 dedup: 9,
                 ..QueueDrops::default()
             },
+            ResilienceStats::default(),
             42,
         );
         assert_eq!(r.updates.max_os_len, 5);

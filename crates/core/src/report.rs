@@ -126,6 +126,9 @@ pub struct UpdateCounts {
     pub overflow_dropped: u64,
     /// Queued updates removed as superseded by the hash-index extension.
     pub dedup_dropped: u64,
+    /// Arrivals shed by controller admission control before entering the OS
+    /// queue (robustness extension).
+    pub admission_shed: u64,
     /// Largest update-queue length observed.
     pub max_uq_len: u64,
     /// Largest OS-queue length observed.
@@ -156,6 +159,7 @@ impl UpdateCounts {
             + self.expired_dropped
             + self.overflow_dropped
             + self.dedup_dropped
+            + self.admission_shed
             + self.os_dropped
             + self.left_in_os
             + self.left_in_update_queue
@@ -206,6 +210,28 @@ pub struct TriggerStats {
     pub lag_mean: f64,
     /// Largest pending-queue length observed.
     pub max_pending: u64,
+}
+
+/// Resilience accounting (robustness extension; all zeros/`None` for an
+/// undisturbed run with the paper's queue policies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Duplicate deliveries injected by the disturbance layer.
+    pub duplicated: u64,
+    /// Out-of-order deliveries observed at the source.
+    pub reordered: u64,
+    /// Arrivals held during the outage window and released in the catch-up
+    /// flood.
+    pub outage_held: u64,
+    /// Arrivals delivered as part of a multi-arrival batch.
+    pub burst_grouped: u64,
+    /// Arrivals shed by controller admission control (mirrors
+    /// `UpdateCounts::admission_shed`).
+    pub admission_shed: u64,
+    /// Seconds after the outage ended until the stale-object count first
+    /// returned to its pre-outage baseline; `None` when no outage was
+    /// configured or the system had not recovered by the horizon.
+    pub recovery_secs: Option<f64>,
 }
 
 /// CPU-time accounting over the measurement window.
@@ -311,6 +337,8 @@ pub struct RunReport {
     pub history: HistoryStats,
     /// Update-triggered rule accounting (extension).
     pub triggers: TriggerStats,
+    /// Resilience accounting (robustness extension).
+    pub resilience: ResilienceStats,
     /// Per-window outcomes (extension; empty unless `timeline_window` set).
     pub timeline: Vec<TimelineWindow>,
 }
@@ -387,6 +415,7 @@ impl RunReport {
                 expired_dropped: mu(&|r| r.updates.expired_dropped),
                 overflow_dropped: mu(&|r| r.updates.overflow_dropped),
                 dedup_dropped: mu(&|r| r.updates.dedup_dropped),
+                admission_shed: mu(&|r| r.updates.admission_shed),
                 max_uq_len: mu(&|r| r.updates.max_uq_len),
                 max_os_len: mu(&|r| r.updates.max_os_len),
                 left_in_os: mu(&|r| r.updates.left_in_os),
@@ -418,6 +447,26 @@ impl RunReport {
                 pending_at_end: mu(&|r| r.triggers.pending_at_end),
                 lag_mean: mf(&|r| r.triggers.lag_mean),
                 max_pending: mu(&|r| r.triggers.max_pending),
+            },
+            resilience: ResilienceStats {
+                duplicated: mu(&|r| r.resilience.duplicated),
+                reordered: mu(&|r| r.resilience.reordered),
+                outage_held: mu(&|r| r.resilience.outage_held),
+                burst_grouped: mu(&|r| r.resilience.burst_grouped),
+                admission_shed: mu(&|r| r.resilience.admission_shed),
+                // Mean over the replicas that did recover; `None` only when
+                // none of them did (or no outage was configured).
+                recovery_secs: {
+                    let recovered: Vec<f64> = reports
+                        .iter()
+                        .filter_map(|r| r.resilience.recovery_secs)
+                        .collect();
+                    if recovered.is_empty() {
+                        None
+                    } else {
+                        Some(recovered.iter().sum::<f64>() / recovered.len() as f64)
+                    }
+                },
             },
             timeline,
         }
@@ -526,6 +575,22 @@ mod tests {
         assert_eq!(avg.txns.arrived, 12); // (10+13)/2 rounds to nearest
         assert!((avg.txns.value_committed - 3.0).abs() < 1e-12);
         assert!((avg.fold_low - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_resilience_recovery_over_recovered_replicas() {
+        let mut a = RunReport::default();
+        a.resilience.recovery_secs = Some(2.0);
+        a.resilience.duplicated = 4;
+        let mut b = RunReport::default();
+        b.resilience.recovery_secs = None;
+        b.resilience.duplicated = 6;
+        let avg = RunReport::average(&[a, b]);
+        assert_eq!(avg.resilience.recovery_secs, Some(2.0));
+        assert_eq!(avg.resilience.duplicated, 5);
+        let c = RunReport::default();
+        let none = RunReport::average(&[c.clone(), c]);
+        assert_eq!(none.resilience.recovery_secs, None);
     }
 
     #[test]

@@ -6,28 +6,38 @@
 //! repro tables                       # print Tables 1–3
 //! repro all --seconds 200 --seed 7   # faster sweep, different seed
 //! repro all --out target/repro       # also export CSV + text
+//! repro all --checkpoint target/ckpt # resumable: rerun picks up where a
+//!                                    # killed sweep stopped
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use strip_experiments::{export_figure, render_parameter_tables, Campaign, FigureId, RunSettings};
+use strip_experiments::{
+    export_figure, render_parameter_tables, Campaign, FigureId, RunSettings, SweepRunner,
+};
 
 struct Args {
     figures: Vec<FigureId>,
     settings: RunSettings,
     out_dir: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 fn usage() -> String {
     let names: Vec<&str> = FigureId::ALL.iter().map(|f| f.name()).collect();
     format!(
-        "usage: repro <all|{}> [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR]\n\
+        "usage: repro <all|{}> [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] [--checkpoint DIR]\n\
          \n\
          Regenerates the evaluation of 'Applying Update Streams in a Soft\n\
          Real-Time Database System' (SIGMOD 1995). Default run length is the\n\
          paper's 1000 simulated seconds per data point (override with\n\
-         --seconds or the REPRO_SECONDS environment variable).",
+         --seconds or the REPRO_SECONDS environment variable).\n\
+         \n\
+         With --checkpoint DIR every completed data point is persisted and a\n\
+         rerun with the same parameters resumes instead of re-simulating; a\n\
+         point that crashes is retried once and then reported, without\n\
+         aborting the rest of the campaign.",
         names.join("|")
     )
 }
@@ -36,6 +46,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut figures = Vec::new();
     let mut settings = RunSettings::default();
     let mut out_dir = None;
+    let mut checkpoint_dir = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +81,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 out_dir = Some(PathBuf::from(v));
             }
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a value")?;
+                checkpoint_dir = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Err(usage()),
             name => figures.push(
                 name.parse::<FigureId>()
@@ -85,6 +100,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         figures,
         settings,
         out_dir,
+        checkpoint_dir,
     })
 }
 
@@ -103,7 +119,12 @@ fn main() -> ExitCode {
         args.settings.duration,
         args.settings.seed
     );
-    let mut campaign = Campaign::new(args.settings);
+    let mut runner = SweepRunner::new();
+    if let Some(dir) = &args.checkpoint_dir {
+        println!("# checkpointing completed points under {}", dir.display());
+        runner = runner.with_checkpoint_dir(dir);
+    }
+    let mut campaign = Campaign::with_runner(args.settings, runner);
     for id in &args.figures {
         let started = std::time::Instant::now();
         if *id == FigureId::Tables {
@@ -121,7 +142,27 @@ fn main() -> ExitCode {
         }
         println!("# {} done in {:.1?}\n", id.name(), started.elapsed());
     }
-    ExitCode::SUCCESS
+    if campaign.resumed() > 0 {
+        println!(
+            "# resumed {} data point(s) from checkpoints",
+            campaign.resumed()
+        );
+    }
+    if campaign.failures().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "# {} data point(s) failed twice and were excluded:",
+            campaign.failures().len()
+        );
+        for f in campaign.failures() {
+            eprintln!(
+                "#   {}[{}] {} after {} attempts: {}",
+                f.sweep, f.index, f.label, f.attempts, f.message
+            );
+        }
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +211,16 @@ mod tests {
     fn out_dir_is_captured() {
         let a = parse(&["tables", "--out", "/tmp/x"]).unwrap();
         assert_eq!(a.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn checkpoint_dir_is_captured() {
+        let a = parse(&["fig06", "--checkpoint", "/tmp/ck"]).unwrap();
+        assert_eq!(
+            a.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ck"))
+        );
+        assert!(parse(&["fig06", "--checkpoint"]).is_err());
+        assert!(parse(&["fig06"]).unwrap().checkpoint_dir.is_none());
     }
 }

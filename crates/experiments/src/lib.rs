@@ -3,8 +3,12 @@
 //!
 //! * [`sweep`] — parallel parameter-sweep execution over the Poisson
 //!   workload.
+//! * [`runner`] — crash-isolated sweep execution with one-retry semantics
+//!   and on-disk checkpoints, so long campaigns survive a panicking point
+//!   and a killed process resumes where it stopped.
 //! * [`figures`] — one runner per paper figure (3–16) plus the parameter
-//!   tables, with shared sweeps memoised per [`figures::Campaign`].
+//!   tables and the figR1 resilience experiment, with shared sweeps memoised
+//!   per [`figures::Campaign`].
 //! * [`table`] — ASCII/CSV rendering of reproduced figures.
 //!
 //! The `repro` binary drives a full campaign:
@@ -19,10 +23,12 @@
 #![warn(clippy::all)]
 
 pub mod figures;
+pub mod runner;
 pub mod sweep;
 pub mod table;
 
 pub use figures::{render_parameter_tables, Campaign, FigureId};
+pub use runner::{PointFailure, SweepOutcome, SweepRunner};
 pub use sweep::{run_sweep, RunSettings};
 pub use table::{Figure, Series};
 

@@ -73,34 +73,41 @@ impl RunSettings {
         cfg
     }
 
-    fn worker_count(&self, jobs: usize) -> usize {
+    pub(crate) fn worker_count(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let n = if self.threads == 0 { hw } else { self.threads };
         n.clamp(1, jobs.max(1))
     }
 }
 
-/// Runs `jobs` simulations across `workers` threads; slot `i` of the result
-/// receives job `i`'s report. Each slot is written exactly once by whichever
-/// worker claimed the job, so collection needs no lock.
-fn run_jobs(jobs: Vec<SimConfig>, workers: usize) -> Vec<RunReport> {
-    if jobs.is_empty() {
+/// Runs `n` indexed jobs across `workers` threads; slot `i` of the result
+/// receives `f(i)`. Jobs are claimed from a shared atomic cursor and each
+/// slot is written exactly once by whichever worker claimed it, so
+/// collection needs no lock. Shared by the plain sweep below and the
+/// crash-isolated runner (`crate::runner`).
+pub(crate) fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
         return Vec::new();
     }
     if workers == 1 {
-        return jobs.iter().map(run_paper_sim).collect();
+        return (0..n).map(f).collect();
     }
-    let slots: Vec<OnceLock<RunReport>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(cfg) = jobs.get(i) else { break };
-                let report = run_paper_sim(cfg);
-                slots[i]
-                    .set(report)
-                    .expect("each job index is claimed by exactly one worker");
+                if i >= n {
+                    break;
+                }
+                if slots[i].set(f(i)).is_err() {
+                    panic!("each job index is claimed by exactly one worker");
+                }
             });
         }
     });
@@ -108,6 +115,12 @@ fn run_jobs(jobs: Vec<SimConfig>, workers: usize) -> Vec<RunReport> {
         .into_iter()
         .map(|slot| slot.into_inner().expect("every job completed"))
         .collect()
+}
+
+/// Runs `jobs` simulations across `workers` threads; slot `i` of the result
+/// receives job `i`'s report.
+fn run_jobs(jobs: Vec<SimConfig>, workers: usize) -> Vec<RunReport> {
+    run_indexed(jobs.len(), workers, |i| run_paper_sim(&jobs[i]))
 }
 
 /// Runs every configuration under every replica seed, returning the full

@@ -44,23 +44,30 @@ impl Figure {
         out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
         out.push_str(&format!("   paper: {}\n", self.paper_expectation));
         let xs = self.x_values();
-        out.push_str(&format!("{:>12}", self.x_label));
+        // Columns widen to fit the longest label plus a separating space.
+        let w = self
+            .series
+            .iter()
+            .map(|s| s.label.len() + 1)
+            .chain(std::iter::once(self.x_label.len() + 1))
+            .fold(12, usize::max);
+        out.push_str(&format!("{:>w$}", self.x_label));
         for s in &self.series {
-            out.push_str(&format!("{:>12}", s.label));
+            out.push_str(&format!("{:>w$}", s.label));
         }
         out.push('\n');
         for (i, x) in xs.iter().enumerate() {
-            out.push_str(&format!("{x:>12.4}"));
+            out.push_str(&format!("{x:>w$.4}"));
             for s in &self.series {
                 match s.points.get(i) {
                     Some(&(px, y)) if (px - x).abs() < 1e-9 => {
-                        out.push_str(&format!("{y:>12.4}"));
+                        out.push_str(&format!("{y:>w$.4}"));
                     }
                     _ => {
                         // Series on a different grid: find matching x.
                         match s.points.iter().find(|(px, _)| (px - x).abs() < 1e-9) {
-                            Some(&(_, y)) => out.push_str(&format!("{y:>12.4}")),
-                            None => out.push_str(&format!("{:>12}", "-")),
+                            Some(&(_, y)) => out.push_str(&format!("{y:>w$.4}")),
+                            None => out.push_str(&format!("{:>w$}", "-")),
                         }
                     }
                 }

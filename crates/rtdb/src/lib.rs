@@ -10,6 +10,8 @@
 //! * [`update`] — external updates carrying generation timestamps.
 //! * [`osqueue`] — the small kernel-space FIFO where arriving updates wait
 //!   until the controller receives them (`OS_max`).
+//! * [`shed`] — pluggable overflow shedding policies shared by both bounded
+//!   queues (robustness extension).
 //! * [`update_queue`] — the generation-ordered, bounded application-level
 //!   update queue with FIFO/LIFO service, MA expiry discard, overflow
 //!   discard, per-object lookup, and the hash-index/dedup extension.
@@ -30,6 +32,7 @@ pub mod cost;
 pub mod history;
 pub mod object;
 pub mod osqueue;
+pub mod shed;
 pub mod staleness;
 pub mod store;
 pub mod triggers;
@@ -39,7 +42,8 @@ pub mod update_queue;
 pub use cost::CostModel;
 pub use history::{HistoryPolicy, HistoryStore, Version};
 pub use object::{Importance, ViewObject, ViewObjectId};
-pub use osqueue::OsQueue;
+pub use osqueue::{Delivery, OsQueue};
+pub use shed::ShedPolicy;
 pub use staleness::{ExpiryWatch, StalenessSpec, StalenessTracker};
 pub use store::{InstallOutcome, Store};
 pub use triggers::{Rule, RuleSet};

@@ -5,39 +5,141 @@
 //! and only supports FIFO receive of the next message — it cannot be
 //! searched or reordered, which is why the algorithms that defer updates
 //! also maintain the application-level update queue.
+//!
+//! Overflow behaviour is pluggable (robustness extension): the paper's
+//! kernel rejects the arriving message ([`ShedPolicy::DropNewest`], the
+//! default), but a smarter receive-side daemon could instead evict a
+//! buffered message to admit the arrival. Either way exactly one update is
+//! lost per overflow event, so `dropped` counts overflow events regardless
+//! of policy.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
+use strip_sim::time::SimTime;
+
+use crate::object::{Importance, ViewObjectId};
+use crate::shed::ShedPolicy;
 use crate::update::Update;
+
+/// Outcome of [`OsQueue::deliver`] on a full queue: either the arrival was
+/// rejected (`accepted == false`) or a buffered message was evicted to make
+/// room (`displaced`). At most one of the two loss modes occurs per call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The arriving update entered the buffer.
+    pub accepted: bool,
+    /// A previously buffered update evicted to admit the arrival.
+    pub displaced: Option<Update>,
+}
+
+impl Delivery {
+    /// True when the call lost an update (the arrival or a buffered one).
+    #[must_use]
+    pub fn lost_one(&self) -> bool {
+        !self.accepted || self.displaced.is_some()
+    }
+}
 
 /// Bounded FIFO of arrived-but-unreceived updates.
 #[derive(Debug, Clone)]
 pub struct OsQueue {
     buf: VecDeque<Update>,
     capacity: usize,
+    shed: ShedPolicy,
     dropped: u64,
 }
 
 impl OsQueue {
-    /// Creates a queue bounded at `capacity` messages.
+    /// Creates a queue bounded at `capacity` messages with the paper's
+    /// overflow rule (reject the arrival).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        OsQueue::with_shed(capacity, ShedPolicy::DropNewest)
+    }
+
+    /// Creates a queue bounded at `capacity` messages with an explicit
+    /// overflow shedding policy.
+    #[must_use]
+    pub fn with_shed(capacity: usize, shed: ShedPolicy) -> Self {
         OsQueue {
             buf: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
+            shed,
             dropped: 0,
         }
     }
 
-    /// Delivers an arriving update. Returns `false` (and counts a drop) if
-    /// the queue is full — the kernel discards the message.
-    pub fn deliver(&mut self, update: Update) -> bool {
-        if self.buf.len() >= self.capacity {
-            self.dropped += 1;
-            return false;
+    /// Delivers an arriving update. On overflow the shedding policy decides
+    /// whether the arrival is rejected or a buffered message is evicted;
+    /// either way one drop is counted.
+    pub fn deliver(&mut self, update: Update) -> Delivery {
+        if self.buf.len() < self.capacity {
+            self.buf.push_back(update);
+            return Delivery {
+                accepted: true,
+                displaced: None,
+            };
         }
+        self.dropped += 1;
+        match self.shed {
+            ShedPolicy::DropNewest => Delivery {
+                accepted: false,
+                displaced: None,
+            },
+            ShedPolicy::DropOldest => self.admit_evicting(0, update),
+            ShedPolicy::DropLowestImportance => {
+                if let Some(i) = self
+                    .buf
+                    .iter()
+                    .position(|u| u.object.class == Importance::Low)
+                {
+                    self.admit_evicting(i, update)
+                } else if update.object.class == Importance::Low {
+                    // Only high-importance messages buffered and a
+                    // low-importance arrival: the arrival is the victim.
+                    Delivery {
+                        accepted: false,
+                        displaced: None,
+                    }
+                } else {
+                    self.admit_evicting(0, update)
+                }
+            }
+            ShedPolicy::CoalescePerObject => {
+                let i = self.superseded_index(&update).unwrap_or(0);
+                self.admit_evicting(i, update)
+            }
+        }
+    }
+
+    /// Evicts the message at `index` and appends `update`.
+    fn admit_evicting(&mut self, index: usize, update: Update) -> Delivery {
+        let victim = self.buf.remove(index);
         self.buf.push_back(update);
-        true
+        Delivery {
+            accepted: true,
+            displaced: victim,
+        }
+    }
+
+    /// Index of the oldest buffered message superseded by a newer buffered
+    /// message (or by `arrival`) for the same object. One O(len) pass: walk
+    /// back-to-front tracking the newest generation seen per object, and
+    /// report the frontmost superseded entry.
+    fn superseded_index(&self, arrival: &Update) -> Option<usize> {
+        let mut newest: HashMap<ViewObjectId, SimTime> = HashMap::new();
+        newest.insert(arrival.object, arrival.generation_ts);
+        let mut best: Option<usize> = None;
+        for (i, u) in self.buf.iter().enumerate().rev() {
+            if newest.get(&u.object).is_some_and(|g| *g >= u.generation_ts) {
+                best = Some(i);
+            }
+            let entry = newest.entry(u.object).or_insert(u.generation_ts);
+            if u.generation_ts > *entry {
+                *entry = u.generation_ts;
+            }
+        }
+        best
     }
 
     /// Receives the next message in arrival order.
@@ -57,7 +159,7 @@ impl OsQueue {
         self.buf.is_empty()
     }
 
-    /// Messages dropped due to overflow.
+    /// Overflow events (one update lost each).
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -77,9 +179,13 @@ mod tests {
     use strip_sim::time::SimTime;
 
     fn upd(seq: u64) -> Update {
+        upd_on(seq, Importance::Low, 0)
+    }
+
+    fn upd_on(seq: u64, class: Importance, index: u32) -> Update {
         Update {
             seq,
-            object: ViewObjectId::new(Importance::Low, 0),
+            object: ViewObjectId::new(class, index),
             generation_ts: SimTime::from_secs(seq as f64),
             arrival_ts: SimTime::from_secs(seq as f64),
             payload: 0.0,
@@ -91,7 +197,7 @@ mod tests {
     fn fifo_order() {
         let mut q = OsQueue::new(10);
         for i in 0..5 {
-            assert!(q.deliver(upd(i)));
+            assert!(q.deliver(upd(i)).accepted);
         }
         for i in 0..5 {
             assert_eq!(q.receive().unwrap().seq, i);
@@ -102,14 +208,16 @@ mod tests {
     #[test]
     fn overflow_drops_arrivals() {
         let mut q = OsQueue::new(2);
-        assert!(q.deliver(upd(0)));
-        assert!(q.deliver(upd(1)));
-        assert!(!q.deliver(upd(2)));
+        assert!(q.deliver(upd(0)).accepted);
+        assert!(q.deliver(upd(1)).accepted);
+        let lost = q.deliver(upd(2));
+        assert!(!lost.accepted);
+        assert!(lost.displaced.is_none());
         assert_eq!(q.dropped(), 1);
         assert_eq!(q.len(), 2);
         // Receiving frees a slot.
         q.receive();
-        assert!(q.deliver(upd(3)));
+        assert!(q.deliver(upd(3)).accepted);
         assert_eq!(q.capacity(), 2);
     }
 
@@ -119,5 +227,51 @@ mod tests {
         assert!(q.is_empty());
         q.deliver(upd(0));
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn drop_oldest_displaces_front() {
+        let mut q = OsQueue::with_shed(2, ShedPolicy::DropOldest);
+        q.deliver(upd(0));
+        q.deliver(upd(1));
+        let out = q.deliver(upd(2));
+        assert!(out.accepted);
+        assert_eq!(out.displaced.unwrap().seq, 0);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.receive().unwrap().seq, 1);
+        assert_eq!(q.receive().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn drop_lowest_importance_protects_high() {
+        let mut q = OsQueue::with_shed(2, ShedPolicy::DropLowestImportance);
+        q.deliver(upd_on(0, Importance::High, 0));
+        q.deliver(upd_on(1, Importance::Low, 1));
+        // A high arrival evicts the buffered low message.
+        let out = q.deliver(upd_on(2, Importance::High, 2));
+        assert_eq!(out.displaced.unwrap().seq, 1);
+        // All-high buffer + low arrival: the arrival is rejected.
+        let out = q.deliver(upd_on(3, Importance::Low, 3));
+        assert!(!out.accepted);
+        // All-high buffer + high arrival: oldest high is evicted.
+        let out = q.deliver(upd_on(4, Importance::High, 4));
+        assert_eq!(out.displaced.unwrap().seq, 0);
+        assert_eq!(q.dropped(), 3);
+    }
+
+    #[test]
+    fn coalesce_evicts_superseded_first() {
+        let mut q = OsQueue::with_shed(3, ShedPolicy::CoalescePerObject);
+        q.deliver(upd_on(0, Importance::Low, 7)); // superseded by seq 2
+        q.deliver(upd_on(1, Importance::Low, 8));
+        q.deliver(upd_on(2, Importance::Low, 7));
+        let out = q.deliver(upd_on(3, Importance::Low, 9));
+        assert_eq!(out.displaced.unwrap().seq, 0);
+        // No superseded entry left: falls back to the oldest.
+        let out = q.deliver(upd_on(4, Importance::Low, 10));
+        assert_eq!(out.displaced.unwrap().seq, 1);
+        // The arrival itself can supersede a buffered message.
+        let out = q.deliver(upd_on(5, Importance::Low, 9));
+        assert_eq!(out.displaced.unwrap().seq, 3);
     }
 }

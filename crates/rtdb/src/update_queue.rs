@@ -11,7 +11,9 @@
 //!   lifetime of the installed value).
 //!
 //! It is bounded at `UQ_max`; when a new update would overflow the queue the
-//! *oldest* update is discarded (§4.2). The structure also supports the
+//! *oldest* update is discarded (§4.2) — or, under a non-default
+//! [`ShedPolicy`], another victim chosen by the configured shedding rule.
+//! The structure also supports the
 //! paper's future-work extension of a hash index over queued updates: in
 //! dedup mode, inserting an update removes any older queued update for the
 //! same object (complete updates to snapshot views make all but the newest
@@ -47,6 +49,7 @@ use serde::{Deserialize, Serialize};
 use strip_sim::time::SimTime;
 
 use crate::object::{Importance, ViewObjectId};
+use crate::shed::ShedPolicy;
 use crate::update::Update;
 
 /// Key ordering queued updates by generation time (sequence number breaks
@@ -132,17 +135,26 @@ pub struct UpdateQueue {
     len: usize,
     capacity: usize,
     dedup: bool,
+    shed: ShedPolicy,
     overflow_dropped: u64,
     expired_dropped: u64,
     dedup_dropped: u64,
 }
 
 impl UpdateQueue {
-    /// Creates a queue bounded at `capacity` updates. With `dedup` enabled
+    /// Creates a queue bounded at `capacity` updates with the paper's
+    /// overflow rule (discard the oldest generation). With `dedup` enabled
     /// the hash-index extension keeps at most one (the newest) update per
     /// object.
     #[must_use]
     pub fn new(capacity: usize, dedup: bool) -> Self {
+        UpdateQueue::with_shed(capacity, dedup, ShedPolicy::DropOldest)
+    }
+
+    /// Creates a queue bounded at `capacity` updates with an explicit
+    /// overflow shedding policy.
+    #[must_use]
+    pub fn with_shed(capacity: usize, dedup: bool, shed: ShedPolicy) -> Self {
         UpdateQueue {
             nodes: Vec::with_capacity(capacity.min(1 << 16)),
             free: NIL,
@@ -152,6 +164,7 @@ impl UpdateQueue {
             len: 0,
             capacity,
             dedup,
+            shed,
             overflow_dropped: 0,
             expired_dropped: 0,
             dedup_dropped: 0,
@@ -328,11 +341,48 @@ impl UpdateQueue {
         }
         self.link(update);
         if self.len > self.capacity {
-            // Discard the oldest update (§4.2) — possibly the new arrival.
-            outcome.displaced = Some(self.unlink(self.head));
+            // Shed one queued update — possibly the new arrival itself
+            // (it is already linked, so it competes on equal terms).
+            let victim = self.overflow_victim();
+            outcome.displaced = Some(self.unlink(victim));
             self.overflow_dropped += 1;
         }
         outcome
+    }
+
+    /// Picks the node the shedding policy sacrifices on overflow. The
+    /// paper's rule ([`ShedPolicy::DropOldest`]) stays O(1); the scanning
+    /// policies walk the global list from the oldest generation, which is
+    /// fine because this only runs on the overflow path.
+    fn overflow_victim(&self) -> u32 {
+        match self.shed {
+            ShedPolicy::DropOldest => self.head,
+            ShedPolicy::DropNewest => self.tail,
+            ShedPolicy::DropLowestImportance => {
+                let mut cur = self.head;
+                while cur != NIL {
+                    if self.nodes[cur as usize].update.object.class == Importance::Low {
+                        return cur;
+                    }
+                    cur = self.nodes[cur as usize].next;
+                }
+                self.head
+            }
+            ShedPolicy::CoalescePerObject => {
+                // A node that is not its object chain's tail is superseded
+                // by a newer queued update for the same object; installing
+                // it would be wasted work. In dedup mode every node is its
+                // chain's tail, so this degenerates to DropOldest.
+                let mut cur = self.head;
+                while cur != NIL {
+                    if self.nodes[cur as usize].obj_next != NIL {
+                        return cur;
+                    }
+                    cur = self.nodes[cur as usize].next;
+                }
+                self.head
+            }
+        }
     }
 
     /// Removes the update with the oldest generation (FIFO service).
@@ -548,9 +598,16 @@ impl DualUpdateQueue {
     /// `capacity` separately (the bound protects memory per queue).
     #[must_use]
     pub fn new(capacity: usize, dedup: bool, split: bool) -> Self {
+        DualUpdateQueue::with_shed(capacity, dedup, split, ShedPolicy::DropOldest)
+    }
+
+    /// Creates the queue set with an explicit overflow shedding policy
+    /// applied to each partition.
+    #[must_use]
+    pub fn with_shed(capacity: usize, dedup: bool, split: bool, shed: ShedPolicy) -> Self {
         DualUpdateQueue {
-            low: UpdateQueue::new(capacity, dedup),
-            high: split.then(|| UpdateQueue::new(capacity, dedup)),
+            low: UpdateQueue::with_shed(capacity, dedup, shed),
+            high: split.then(|| UpdateQueue::with_shed(capacity, dedup, shed)),
         }
     }
 
@@ -912,6 +969,50 @@ mod tests {
         // Split mode: high partition drains first regardless of heat.
         assert_eq!(q.pop_hottest(score).unwrap().seq, 1);
         assert_eq!(q.pop_hottest(score).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn shed_drop_newest_rejects_freshest_generation() {
+        let mut q = UpdateQueue::with_shed(2, false, ShedPolicy::DropNewest);
+        q.insert(upd(0, 0, 1.0));
+        q.insert(upd(1, 1, 2.0));
+        // The arrival has the newest generation, so it is the victim.
+        let out = q.insert(upd(2, 2, 3.0));
+        assert_eq!(out.displaced.unwrap().seq, 2);
+        // An arrival older than the queued tail evicts that tail instead.
+        let out = q.insert(upd(3, 3, 0.5));
+        assert_eq!(out.displaced.unwrap().seq, 1);
+        assert_eq!(q.overflow_dropped(), 2);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn shed_drop_lowest_importance_spares_high() {
+        let mut q = UpdateQueue::with_shed(2, false, ShedPolicy::DropLowestImportance);
+        q.insert(hupd(0, 0, 1.0));
+        q.insert(upd(1, 1, 2.0));
+        // Oldest low-importance update is shed even though a high one is
+        // older.
+        let out = q.insert(hupd(2, 2, 3.0));
+        assert_eq!(out.displaced.unwrap().seq, 1);
+        // All-high queue falls back to the oldest overall.
+        let out = q.insert(hupd(3, 3, 4.0));
+        assert_eq!(out.displaced.unwrap().seq, 0);
+        assert!(q.check_invariants());
+    }
+
+    #[test]
+    fn shed_coalesce_prefers_superseded_updates() {
+        let mut q = UpdateQueue::with_shed(3, false, ShedPolicy::CoalescePerObject);
+        q.insert(upd(0, 7, 1.0)); // superseded by seq 2
+        q.insert(upd(1, 8, 2.0));
+        q.insert(upd(2, 7, 3.0));
+        let out = q.insert(upd(3, 9, 4.0));
+        assert_eq!(out.displaced.unwrap().seq, 0);
+        // No superseded update left: falls back to the oldest generation.
+        let out = q.insert(upd(4, 10, 5.0));
+        assert_eq!(out.displaced.unwrap().seq, 1);
+        assert!(q.check_invariants());
     }
 
     #[test]

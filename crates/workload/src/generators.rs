@@ -22,7 +22,7 @@ use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
 
 /// Stream labels for RNG sub-stream derivation.
-mod stream {
+pub(crate) mod stream {
     pub const UPDATE_ARRIVAL: u64 = 1;
     pub const UPDATE_TARGET: u64 = 2;
     pub const UPDATE_AGE: u64 = 3;
@@ -30,6 +30,9 @@ mod stream {
     pub const TXN_ARRIVAL: u64 = 5;
     pub const TXN_SHAPE: u64 = 6;
     pub const TXN_READS: u64 = 7;
+    /// Fault-injection layer (`crate::disturbance`) — disjoint from the
+    /// generator labels so disturbances never perturb workload draws.
+    pub const DISTURBANCE: u64 = 8;
 }
 
 /// Poisson update stream per Table 1.

@@ -4,6 +4,8 @@
 //! * [`generators`] — the paper's Poisson update stream (Table 1) and
 //!   transaction stream (Table 2), with independent RNG sub-streams per
 //!   stochastic process.
+//! * [`disturbance`] — fault injection over the update stream (bursts,
+//!   outages, jitter, duplicates, reordering; robustness extension).
 //! * [`scenarios`] — presets for the paper's three motivating domains:
 //!   program trading, plant control, telecommunications.
 //! * [`trace`] — capture/replay of materialised workloads.
@@ -13,15 +15,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod disturbance;
 pub mod generators;
 pub mod scenarios;
 pub mod trace;
 
+pub use disturbance::DisturbedUpdates;
 pub use generators::{PeriodicUpdates, PoissonTxns, PoissonUpdates, UpdateStream};
 pub use trace::Trace;
 
-use strip_core::config::SimConfig;
-use strip_core::controller::run_simulation;
+use strip_core::config::{ConfigError, SimConfig};
+use strip_core::controller::run_simulation_checked;
 use strip_core::report::RunReport;
 
 /// Runs one simulation of `cfg` with the paper's Poisson workload model.
@@ -44,9 +48,27 @@ use strip_core::report::RunReport;
 /// ```
 #[must_use]
 pub fn run_paper_sim(cfg: &SimConfig) -> RunReport {
-    run_simulation(
-        cfg,
-        generators::UpdateStream::from_config(cfg),
-        PoissonTxns::from_config(cfg),
-    )
+    run_paper_sim_checked(cfg).expect("invalid SimConfig")
+}
+
+/// Fallible variant of [`run_paper_sim`]: surfaces config-validation
+/// failures as a value so sweep drivers can record them per point.
+///
+/// When `cfg.disturbance` is set, the update stream is wrapped in the
+/// fault-injection layer ([`DisturbedUpdates`]); otherwise the generators
+/// feed the controller directly and the run is bit-identical to builds
+/// that predate the layer.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `cfg` fails validation.
+pub fn run_paper_sim_checked(cfg: &SimConfig) -> Result<RunReport, ConfigError> {
+    let updates = generators::UpdateStream::from_config(cfg);
+    let txns = PoissonTxns::from_config(cfg);
+    match cfg.disturbance {
+        Some(spec) => {
+            run_simulation_checked(cfg, DisturbedUpdates::new(updates, spec, cfg.seed), txns)
+        }
+        None => run_simulation_checked(cfg, updates, txns),
+    }
 }
