@@ -11,8 +11,8 @@
 use std::fmt::Write as _;
 
 use strip_bench::perf::{
-    self, calendar_pair, estimated_seed_wall_secs, fig03_short_sweep, update_queue_pair,
-    PairResult, SweepPoint,
+    self, calendar_pair, estimated_seed_wall_secs, fig03_short_sweep, trace_pair,
+    update_queue_pair, PairResult, SweepPoint,
 };
 
 /// Serialises one paired measurement as a JSON object.
@@ -97,6 +97,17 @@ fn main() {
     }
 
     let duration = perf::short_sweep_duration();
+    eprintln!("# trace overhead — recorder detached vs attached, {duration} simulated seconds …");
+    let trace = trace_pair(duration, reps);
+    let trace_overhead_pct = (trace.new_secs / trace.old_secs - 1.0) * 100.0;
+    eprintln!(
+        "{:<26} detached {:>8.1} ms   attached {:>8.1} ms   overhead {:>+6.2}%",
+        trace.name,
+        trace.old_secs * 1e3,
+        trace.new_secs * 1e3,
+        trace_overhead_pct,
+    );
+
     eprintln!("# fig03 short sweep — {duration} simulated seconds per point …");
     let points = fig03_short_sweep(duration);
     let wall_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
@@ -134,6 +145,20 @@ fn main() {
         point_json(&mut json, "      ", p);
     }
     json.push_str("\n    ]\n  },\n");
+    json.push_str("  \"trace_overhead\": {\n");
+    json.push_str(
+        "    \"method\": \"same saturated baseline run with the strip-obs flight recorder \
+         detached (production path: every record site is one untaken branch) vs attached at \
+         the default gauge cadence; identical processed-event counts are asserted\",\n",
+    );
+    json.push_str("    \"pair\":\n");
+    pair_json(&mut json, "    ", &trace);
+    json.push_str(",\n");
+    let _ = writeln!(
+        json,
+        "    \"attached_overhead_pct\": {trace_overhead_pct:.3}"
+    );
+    json.push_str("  },\n");
     json.push_str("  \"seed_comparison\": {\n");
     json.push_str(
         "    \"method\": \"differential: measured sweep wall-clock plus (seed minus new) per-op \

@@ -27,10 +27,11 @@ use strip_db::object::{Importance, ViewObjectId};
 use strip_db::update::Update;
 use strip_db::update_queue::reference::ReferenceUpdateQueue;
 use strip_db::update_queue::UpdateQueue;
+use strip_obs::TraceConfig;
 use strip_sim::event::{reference, EventQueue};
 use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
-use strip_workload::run_paper_sim;
+use strip_workload::{run_paper_sim, run_paper_sim_traced};
 
 /// The paper's baseline update arrival rate (updates per simulated second).
 const LAMBDA_U: f64 = 400.0;
@@ -306,6 +307,44 @@ pub fn fig03_short_sweep(duration: f64) -> Vec<SweepPoint> {
     points
 }
 
+/// Paired end-to-end simulation run: flight recorder detached (the
+/// production path, `trace == None` — every record site is one untaken
+/// branch) vs attached at the default gauge cadence. Both sides run the
+/// same saturated baseline configuration; the identical
+/// `events_processed` count on both sides re-asserts the observation-only
+/// guarantee while the wall-clock ratio prices it.
+///
+/// In [`PairResult`] terms the *detached* run is `old` and the *traced*
+/// run is `new`, so `speedup()` < 1 reads as "tracing costs this much";
+/// `ops` is the engine's processed-event count.
+#[must_use]
+pub fn trace_pair(duration: f64, reps: usize) -> PairResult {
+    let cfg = SimConfig::builder()
+        .policy(Policy::UpdatesFirst)
+        .lambda_t(12.0)
+        .duration(duration)
+        .seed(0x5712_1995)
+        .build()
+        .expect("trace-pair config is valid");
+    let (old_secs, old_ops) = best_of(reps, || black_box(run_paper_sim(&cfg)).cpu.events_processed);
+    let (new_secs, new_ops) = best_of(reps, || {
+        let (report, data) =
+            run_paper_sim_traced(&cfg, TraceConfig::default()).expect("traced run");
+        black_box(data.records.len());
+        black_box(report).cpu.events_processed
+    });
+    assert_eq!(
+        new_ops, old_ops,
+        "tracing must not change how many events the engine processes"
+    );
+    PairResult {
+        name: "trace/attached_vs_detached",
+        ops: new_ops,
+        new_secs,
+        old_secs,
+    }
+}
+
 /// Differential estimate of what the sweep would have cost on the seed
 /// structures: measured wall-clock plus the per-operation cost delta
 /// (reference minus slab / four-ary, from the paired micro measurements)
@@ -348,6 +387,13 @@ mod tests {
         // prefill + 2×holds + drain
         assert_eq!(r.ops, 1_256 + 2 * 2_000 + 1_256);
         assert!(r.speedup().is_finite());
+    }
+
+    #[test]
+    fn trace_pair_preserves_event_counts() {
+        let r = trace_pair(1.0, 1);
+        assert!(r.ops > 0);
+        assert!(r.new_secs > 0.0 && r.old_secs > 0.0);
     }
 
     #[test]

@@ -32,6 +32,10 @@ use strip_db::store::{InstallOutcome, Store};
 use strip_db::triggers::{generate_rules, RuleSet};
 use strip_db::update::Update;
 use strip_db::update_queue::DualUpdateQueue;
+use strip_obs::{
+    GaugeValues, TraceAbort, TraceConfig, TraceData, TraceJob, TraceKind, TracePath, TraceSink,
+    TraceTrack,
+};
 use strip_sim::dist::{Distribution, Exponential};
 use strip_sim::engine::{Ctx, Engine, Simulation};
 use strip_sim::rng::Xoshiro256pp;
@@ -175,6 +179,11 @@ pub struct Controller<U, T> {
     /// First post-outage event at which staleness was back at (or below)
     /// the baseline.
     recovery_at: Option<SimTime>,
+    /// Flight recorder (strip-obs). `None` unless tracing was requested;
+    /// every record site is behind one `is_some` check, and the sink never
+    /// feeds back into scheduling, so a traced run is bit-identical to an
+    /// untraced one.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
@@ -295,6 +304,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             outage,
             outage_baseline: None,
             recovery_at: None,
+            trace: None,
             cfg,
         })
     }
@@ -502,6 +512,89 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         busy / elapsed > admission.util_threshold
     }
 
+    // ---- tracing (strip-obs) ------------------------------------------------
+
+    /// Installs a flight recorder; subsequent scheduling points are
+    /// recorded into it. Tracing is observation-only: it must not (and by
+    /// construction cannot) change the simulated schedule.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        let policy = self.cfg.policy.label();
+        self.trace = Some(Box::new(TraceSink::new(cfg, policy)));
+    }
+
+    /// Detaches the recorder and returns its capture; `None` when tracing
+    /// was never enabled.
+    pub fn take_trace(&mut self) -> Option<TraceData> {
+        self.trace.take().map(|sink| sink.finish())
+    }
+
+    /// Like [`Controller::finalize`], but first closes any slice still on
+    /// the CPU in the trace and returns the capture alongside the report.
+    #[must_use]
+    pub fn finalize_traced(mut self, end: SimTime, events: u64) -> (RunReport, Option<TraceData>) {
+        let in_flight = match &self.cpu {
+            CpuState::Busy { job, .. } => Some(Self::trace_job(job)),
+            CpuState::Idle => None,
+        };
+        if let Some((track, job)) = in_flight {
+            self.emit(
+                end,
+                TraceKind::SliceEnd {
+                    track,
+                    job,
+                    interrupted: true,
+                },
+            );
+        }
+        let data = self.take_trace();
+        (self.finalize(end, events), data)
+    }
+
+    /// Records one trace event when a sink is installed; a single branch
+    /// otherwise, keeping untraced runs at full speed.
+    #[inline]
+    fn emit(&mut self, now: SimTime, kind: TraceKind) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record(now.as_secs(), kind);
+        }
+    }
+
+    /// Records the post-change OS/update queue depths.
+    #[inline]
+    fn emit_queue_depth(&mut self, now: SimTime) {
+        if self.trace.is_some() {
+            let os = self.os_queue.len() as u32;
+            let uq = self.uq.len() as u32;
+            self.emit(now, TraceKind::QueueDepth { os, uq });
+        }
+    }
+
+    /// Maps a CPU job onto its exported (track, job-kind) pair.
+    fn trace_job(job: &Job) -> (TraceTrack, TraceJob) {
+        let track = match Self::activity_of(job) {
+            Activity::Txn => TraceTrack::Txn,
+            Activity::Update => TraceTrack::Update,
+        };
+        let kind = match job {
+            Job::Txn(TxnSliceKind::Segment) => TraceJob::Segment,
+            Job::Txn(TxnSliceKind::StaleScan { .. }) => TraceJob::StaleScan,
+            Job::Txn(TxnSliceKind::OdApply { .. }) => TraceJob::OdApply,
+            Job::Txn(TxnSliceKind::IoStall { .. }) => TraceJob::IoStall,
+            Job::Install { .. } => TraceJob::Install,
+            Job::QueueTransfer => TraceJob::QueueTransfer,
+            Job::RuleExec { .. } => TraceJob::RuleExec,
+        };
+        (track, kind)
+    }
+
+    fn trace_path(path: InstallPath) -> TracePath {
+        match path {
+            InstallPath::Background => TracePath::Background,
+            InstallPath::Immediate => TracePath::Immediate,
+            InstallPath::OnDemand => TracePath::OnDemand,
+        }
+    }
+
     // ---- slice management ---------------------------------------------------
 
     fn activity_of(job: &Job) -> Activity {
@@ -519,6 +612,17 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
     fn start_slice(&mut self, now: SimTime, duration: f64, job: Job, ctx: &mut Ctx<'_, Event>) {
         debug_assert!(matches!(self.cpu, CpuState::Idle), "CPU already busy");
         debug_assert!(duration >= 0.0);
+        if self.trace.is_some() {
+            let (track, job) = Self::trace_job(&job);
+            self.emit(
+                now,
+                TraceKind::SliceStart {
+                    track,
+                    job,
+                    secs: duration,
+                },
+            );
+        }
         self.epoch += 1;
         self.cpu = CpuState::Busy {
             epoch: self.epoch,
@@ -538,6 +642,17 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         let elapsed = now.since(started);
         self.metrics
             .charge_busy(Self::activity_of(&job), started, now);
+        if self.trace.is_some() {
+            let (track, tjob) = Self::trace_job(&job);
+            self.emit(
+                now,
+                TraceKind::SliceEnd {
+                    track,
+                    job: tjob,
+                    interrupted: true,
+                },
+            );
+        }
         if let Job::Txn(kind) = job {
             if let Some(rt) = self.running.as_mut() {
                 match kind {
@@ -711,6 +826,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 for t in self.ready.drain_infeasible(now) {
                     self.metrics
                         .txn_aborted_at(&t, AbortReason::Infeasible, now);
+                    self.emit(
+                        now,
+                        TraceKind::Abort {
+                            txn: t.id(),
+                            reason: TraceAbort::Infeasible,
+                        },
+                    );
                 }
             }
             if let Some(txn) = self.ready.pop_best() {
@@ -747,6 +869,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             let rt = Self::take_running(&mut self.running, now, "infeasibility abort at resume");
             self.metrics
                 .txn_aborted_at(&rt.txn, AbortReason::Infeasible, now);
+            self.emit(
+                now,
+                TraceKind::Abort {
+                    txn: rt.txn.id(),
+                    reason: TraceAbort::Infeasible,
+                },
+            );
             return false;
         }
         let (kind, duration) = match rt.slice {
@@ -838,6 +967,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             }
             self.metrics
                 .observe_queue_lengths(self.os_queue.len(), self.uq.len());
+            self.emit_queue_depth(now);
             if cost > 0.0 {
                 self.start_slice(now, cost, Job::QueueTransfer, ctx);
                 return UpdateStep::StartedSlice;
@@ -888,6 +1018,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 .on_receive(spec.object, spec.generation_ts, now);
             self.metrics
                 .observe_queue_lengths(self.os_queue.len(), self.uq.len());
+            self.emit_queue_depth(now);
             if let Some(next) = self.update_src.next_update() {
                 ctx.schedule_at(next.arrival, Event::UpdateArrival(next));
             }
@@ -912,6 +1043,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             .on_receive(spec.object, spec.generation_ts, now);
         self.metrics
             .observe_queue_lengths(self.os_queue.len(), self.uq.len());
+        self.emit_queue_depth(now);
         // Schedule the next arrival.
         if let Some(next) = self.update_src.next_update() {
             ctx.schedule_at(next.arrival, Event::UpdateArrival(next));
@@ -926,6 +1058,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                     // Preempt the running transaction to receive the update.
                     self.interrupt_slice(now);
                     self.pending_preempt_cost = self.costs.preempt_time();
+                    if let Some(txn) = self.running.as_ref().map(|rt| rt.txn.id()) {
+                        let cost_secs = self.pending_preempt_cost;
+                        self.emit(now, TraceKind::Preempt { txn, cost_secs });
+                    }
                     self.dispatch(now, ctx);
                 }
                 CpuState::Busy { .. } => {
@@ -966,6 +1102,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         if preempt {
             self.interrupt_slice(now);
             if let Some(rt) = self.running.take() {
+                self.emit(
+                    now,
+                    TraceKind::Preempt {
+                        txn: rt.txn.id(),
+                        cost_secs: 0.0,
+                    },
+                );
                 self.ready.push(rt.txn);
             }
             self.dispatch(now, ctx);
@@ -990,19 +1133,37 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         self.metrics
             .charge_busy(Self::activity_of(&job), started, now);
         self.cpu = CpuState::Idle;
+        if self.trace.is_some() {
+            let (track, tjob) = Self::trace_job(&job);
+            self.emit(
+                now,
+                TraceKind::SliceEnd {
+                    track,
+                    job: tjob,
+                    interrupted: false,
+                },
+            );
+        }
         match job {
             Job::Install {
                 update,
                 path,
                 superseded,
             } => {
-                if superseded {
-                    self.metrics.update_superseded(now);
-                } else if self.apply_update(&update, now, ctx) {
+                let applied = !superseded && self.apply_update(&update, now, ctx);
+                if applied {
                     self.metrics.update_installed(now, path);
                 } else {
                     self.metrics.update_superseded(now);
                 }
+                self.emit(
+                    now,
+                    TraceKind::Install {
+                        path: Self::trace_path(path),
+                        high_class: update.object.class == Importance::High,
+                        superseded: !applied,
+                    },
+                );
                 self.dispatch(now, ctx);
             }
             Job::QueueTransfer => self.dispatch(now, ctx),
@@ -1069,11 +1230,20 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                         now.as_secs()
                     )
                 });
-                if self.apply_update(&update, now, ctx) {
+                let applied = self.apply_update(&update, now, ctx);
+                if applied {
                     self.metrics.update_installed(now, InstallPath::OnDemand);
                 } else {
                     self.metrics.update_superseded(now);
                 }
+                self.emit(
+                    now,
+                    TraceKind::Install {
+                        path: TracePath::OnDemand,
+                        high_class: obj.class == Importance::High,
+                        superseded: !applied,
+                    },
+                );
                 self.finalize_read(obj, now, ctx);
             }
         }
@@ -1245,6 +1415,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             let rt = Self::take_running(&mut self.running, now, "abort-on-stale");
             self.metrics
                 .txn_aborted_at(&rt.txn, AbortReason::StaleRead, now);
+            self.emit(
+                now,
+                TraceKind::Abort {
+                    txn: rt.txn.id(),
+                    reason: TraceAbort::StaleRead,
+                },
+            );
             self.dispatch(now, ctx);
             return;
         }
@@ -1261,6 +1438,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 "commit after deadline should have been cut off by the watchdog"
             );
             self.metrics.txn_committed(&rt.txn, now);
+            self.emit(now, TraceKind::Commit { txn: rt.txn.id() });
             self.dispatch(now, ctx);
             return;
         }
@@ -1288,6 +1466,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             let rt = Self::take_running(&mut self.running, now, "deadline abort");
             self.metrics
                 .txn_aborted_at(&rt.txn, AbortReason::MissedDeadline, now);
+            self.emit(
+                now,
+                TraceKind::Abort {
+                    txn: rt.txn.id(),
+                    reason: TraceAbort::MissedDeadline,
+                },
+            );
             if on_cpu {
                 self.dispatch(now, ctx);
             }
@@ -1297,6 +1482,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         if let Some(t) = self.ready.remove(txn_id) {
             self.metrics
                 .txn_aborted_at(&t, AbortReason::MissedDeadline, now);
+            self.emit(
+                now,
+                TraceKind::Abort {
+                    txn: t.id(),
+                    reason: TraceAbort::MissedDeadline,
+                },
+            );
         }
         // Otherwise it already finished — nothing to do.
     }
@@ -1322,6 +1514,38 @@ impl<U: UpdateSource, T: TxnSource> Simulation for Controller<U, T> {
                 self.metrics.snapshot_warmup(tracker, now);
             }
         }
+    }
+
+    /// Gauge sampling rides the engine's observation hook rather than
+    /// calendar events, so a traced run processes exactly the same event
+    /// sequence (and `events_processed` count) as an untraced one.
+    fn after_event(&mut self, now: SimTime) {
+        let Some(sink) = self.trace.as_deref_mut() else {
+            return;
+        };
+        let at = now.as_secs();
+        if !sink.gauge_due(at) {
+            return;
+        }
+        let elapsed = at;
+        let (rho_t, rho_u) = if elapsed > 0.0 {
+            (
+                self.metrics.busy_txn_so_far() / elapsed,
+                self.metrics.busy_update_so_far() / elapsed,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        let values = GaugeValues {
+            os_depth: self.os_queue.len() as u32,
+            uq_depth: self.uq.len() as u32,
+            ready_len: self.ready.len() as u32,
+            stale_low: self.tracker.stale_count(Importance::Low),
+            stale_high: self.tracker.stale_count(Importance::High),
+            rho_t,
+            rho_u,
+        };
+        sink.push_gauges(at, values);
     }
 }
 
@@ -1383,4 +1607,30 @@ pub fn run_simulation_checked<U: UpdateSource, T: TxnSource>(
     let horizon = SimTime::from_secs(cfg.duration);
     engine.run_until(&mut controller, horizon);
     Ok(controller.finalize(horizon, engine.events_processed()))
+}
+
+/// Like [`run_simulation_checked`], but with a flight recorder attached:
+/// returns the capture alongside the report. The report is bit-identical
+/// to the untraced run's — tracing is observation-only.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `cfg` fails validation.
+pub fn run_simulation_traced<U: UpdateSource, T: TxnSource>(
+    cfg: &SimConfig,
+    update_src: U,
+    txn_src: T,
+    trace: TraceConfig,
+) -> Result<(RunReport, TraceData), ConfigError> {
+    let mut controller = Controller::try_new(cfg.clone(), update_src, txn_src)?;
+    controller.set_trace(trace);
+    let mut engine = Engine::with_capacity(cfg.calendar_capacity_hint());
+    controller.prime(&mut engine);
+    let horizon = SimTime::from_secs(cfg.duration);
+    engine.run_until(&mut controller, horizon);
+    let (report, data) = controller.finalize_traced(horizon, engine.events_processed());
+    Ok((
+        report,
+        data.expect("trace sink was installed before the run"),
+    ))
 }

@@ -6,6 +6,7 @@
 //! time-weighted stale fractions `fold_l`/`fold_h`.
 
 use serde::{Deserialize, Serialize};
+use strip_sim::stats::Welford;
 
 /// Per-value-class transaction outcomes (Low = index 0, High = index 1).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -355,10 +356,20 @@ impl RunReport {
 
     /// Field-wise mean across replica runs of the same configuration.
     ///
-    /// Real-valued fields are averaged exactly; counters are averaged and
-    /// rounded to the nearest integer. Label fields (`policy`, `seed`,
-    /// `duration`, `warmup`) come from the first report, so the result keeps
-    /// the base replica's identity. Timeline windows are averaged per index.
+    /// Real-valued fields are averaged exactly. Counters are averaged and
+    /// rounded to the nearest integer **except** the two totals bound by a
+    /// conservation law (`txns.arrived`, `updates.arrived`): those are
+    /// re-derived as the sum of their rounded outcome buckets, so the
+    /// averaged report satisfies the same conservation invariants as every
+    /// input (independent rounding of total and parts would break them).
+    /// Response-time moments are pooled with a Welford merge weighted by
+    /// each replica's commit count, not averaged naively (a mean of
+    /// standard deviations is not the standard deviation of the pooled
+    /// population). Label fields (`policy`, `seed`, `duration`, `warmup`)
+    /// come from the first report, so the result keeps the base replica's
+    /// identity. Timeline windows are averaged per index out to the
+    /// *longest* replica timeline, dividing by the number of replicas that
+    /// actually cover each window.
     ///
     /// # Panics
     /// Panics when `reports` is empty.
@@ -371,56 +382,104 @@ impl RunReport {
             (reports.iter().map(|r| f(r) as u128).sum::<u128>() as f64 / n).round() as u64
         };
         let first = &reports[0];
+        // Pool response moments over commits; a single replica passes its
+        // moments through untouched (exact identity).
+        let (response_mean, response_sd) = if reports.len() == 1 {
+            (first.txns.response_mean, first.txns.response_sd)
+        } else {
+            let mut pooled = Welford::new();
+            for r in reports {
+                pooled.merge(&Welford::from_moments(
+                    r.txns.committed,
+                    r.txns.response_mean,
+                    r.txns.response_sd,
+                ));
+            }
+            (pooled.mean(), pooled.std_dev())
+        };
         let class = |c: usize| ClassCounts {
             arrived: mu(&|r| r.txns.by_class[c].arrived),
             committed: mu(&|r| r.txns.by_class[c].committed),
             committed_fresh: mu(&|r| r.txns.by_class[c].committed_fresh),
         };
-        let timeline = (0..first.timeline.len())
-            .map(|w| TimelineWindow {
-                t_start: first.timeline[w].t_start,
-                finished: mu(&|r| r.timeline.get(w).map_or(0, |t| t.finished)),
-                committed: mu(&|r| r.timeline.get(w).map_or(0, |t| t.committed)),
-                committed_fresh: mu(&|r| r.timeline.get(w).map_or(0, |t| t.committed_fresh)),
+        let windows = reports.iter().map(|r| r.timeline.len()).max().unwrap_or(0);
+        let timeline = (0..windows)
+            .map(|w| {
+                let covering = reports.iter().filter(|r| r.timeline.len() > w).count() as f64;
+                let muw = |f: &dyn Fn(&TimelineWindow) -> u64| {
+                    (reports
+                        .iter()
+                        .filter_map(|r| r.timeline.get(w))
+                        .map(|t| f(t) as u128)
+                        .sum::<u128>() as f64
+                        / covering)
+                        .round() as u64
+                };
+                TimelineWindow {
+                    t_start: reports
+                        .iter()
+                        .find_map(|r| r.timeline.get(w))
+                        .map_or(0.0, |t| t.t_start),
+                    finished: muw(&|t| t.finished),
+                    committed: muw(&|t| t.committed),
+                    committed_fresh: muw(&|t| t.committed_fresh),
+                }
             })
             .collect();
+        let txns = {
+            let committed = mu(&|r| r.txns.committed);
+            let missed_deadline = mu(&|r| r.txns.missed_deadline);
+            let aborted_infeasible = mu(&|r| r.txns.aborted_infeasible);
+            let aborted_stale = mu(&|r| r.txns.aborted_stale);
+            let in_flight_at_end = mu(&|r| r.txns.in_flight_at_end);
+            TxnCounts {
+                arrived: committed
+                    + missed_deadline
+                    + aborted_infeasible
+                    + aborted_stale
+                    + in_flight_at_end,
+                committed,
+                committed_fresh: mu(&|r| r.txns.committed_fresh),
+                missed_deadline,
+                aborted_infeasible,
+                aborted_stale,
+                in_flight_at_end,
+                value_committed: mf(&|r| r.txns.value_committed),
+                stale_reads: mu(&|r| r.txns.stale_reads),
+                view_reads: mu(&|r| r.txns.view_reads),
+                response_mean,
+                response_sd,
+                by_class: [class(0), class(1)],
+            }
+        };
         RunReport {
             policy: first.policy.clone(),
             seed: first.seed,
             duration: first.duration,
             warmup: first.warmup,
-            txns: TxnCounts {
-                arrived: mu(&|r| r.txns.arrived),
-                committed: mu(&|r| r.txns.committed),
-                committed_fresh: mu(&|r| r.txns.committed_fresh),
-                missed_deadline: mu(&|r| r.txns.missed_deadline),
-                aborted_infeasible: mu(&|r| r.txns.aborted_infeasible),
-                aborted_stale: mu(&|r| r.txns.aborted_stale),
-                in_flight_at_end: mu(&|r| r.txns.in_flight_at_end),
-                value_committed: mf(&|r| r.txns.value_committed),
-                stale_reads: mu(&|r| r.txns.stale_reads),
-                view_reads: mu(&|r| r.txns.view_reads),
-                response_mean: mf(&|r| r.txns.response_mean),
-                response_sd: mf(&|r| r.txns.response_sd),
-                by_class: [class(0), class(1)],
-            },
-            updates: UpdateCounts {
-                arrived: mu(&|r| r.updates.arrived),
-                os_dropped: mu(&|r| r.updates.os_dropped),
-                enqueued: mu(&|r| r.updates.enqueued),
-                installed_background: mu(&|r| r.updates.installed_background),
-                installed_immediate: mu(&|r| r.updates.installed_immediate),
-                installed_on_demand: mu(&|r| r.updates.installed_on_demand),
-                superseded_skips: mu(&|r| r.updates.superseded_skips),
-                expired_dropped: mu(&|r| r.updates.expired_dropped),
-                overflow_dropped: mu(&|r| r.updates.overflow_dropped),
-                dedup_dropped: mu(&|r| r.updates.dedup_dropped),
-                admission_shed: mu(&|r| r.updates.admission_shed),
-                max_uq_len: mu(&|r| r.updates.max_uq_len),
-                max_os_len: mu(&|r| r.updates.max_os_len),
-                left_in_os: mu(&|r| r.updates.left_in_os),
-                left_in_update_queue: mu(&|r| r.updates.left_in_update_queue),
-                in_flight_at_end: mu(&|r| r.updates.in_flight_at_end),
+            txns,
+            updates: {
+                let mut u = UpdateCounts {
+                    // Re-derived below from the rounded terminal buckets.
+                    arrived: 0,
+                    os_dropped: mu(&|r| r.updates.os_dropped),
+                    enqueued: mu(&|r| r.updates.enqueued),
+                    installed_background: mu(&|r| r.updates.installed_background),
+                    installed_immediate: mu(&|r| r.updates.installed_immediate),
+                    installed_on_demand: mu(&|r| r.updates.installed_on_demand),
+                    superseded_skips: mu(&|r| r.updates.superseded_skips),
+                    expired_dropped: mu(&|r| r.updates.expired_dropped),
+                    overflow_dropped: mu(&|r| r.updates.overflow_dropped),
+                    dedup_dropped: mu(&|r| r.updates.dedup_dropped),
+                    admission_shed: mu(&|r| r.updates.admission_shed),
+                    max_uq_len: mu(&|r| r.updates.max_uq_len),
+                    max_os_len: mu(&|r| r.updates.max_os_len),
+                    left_in_os: mu(&|r| r.updates.left_in_os),
+                    left_in_update_queue: mu(&|r| r.updates.left_in_update_queue),
+                    in_flight_at_end: mu(&|r| r.updates.in_flight_at_end),
+                };
+                u.arrived = u.terminal_total();
+                u
             },
             cpu: CpuStats {
                 busy_txn: mf(&|r| r.cpu.busy_txn),
@@ -550,7 +609,11 @@ mod tests {
             duration: 10.0,
             txns: TxnCounts {
                 arrived: 3,
+                committed: 2,
+                in_flight_at_end: 1,
                 value_committed: 1.25,
+                response_mean: 0.37,
+                response_sd: 0.21,
                 ..TxnCounts::default()
             },
             fold_low: 0.125,
@@ -563,18 +626,90 @@ mod tests {
     fn average_means_fields() {
         let mut a = RunReport::default();
         a.txns.arrived = 10;
+        a.txns.committed = 10;
         a.txns.value_committed = 2.0;
         a.fold_low = 0.2;
         let mut b = a.clone();
         b.seed = 1;
         b.txns.arrived = 13;
+        b.txns.committed = 13;
         b.txns.value_committed = 4.0;
         b.fold_low = 0.6;
         let avg = RunReport::average(&[a, b]);
         assert_eq!(avg.seed, 0); // identity comes from the first replica
-        assert_eq!(avg.txns.arrived, 12); // (10+13)/2 rounds to nearest
+        assert_eq!(avg.txns.committed, 12); // (10+13)/2 rounds to nearest
+        assert_eq!(avg.txns.arrived, 12); // derived from the rounded buckets
         assert!((avg.txns.value_committed - 3.0).abs() < 1e-12);
         assert!((avg.fold_low - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_preserves_conservation_under_rounding() {
+        // Per-replica conservation holds, but the bucket means all land on
+        // .5: independent rounding of `arrived` would disagree with the
+        // rounded bucket sum.
+        let mut a = RunReport::default();
+        a.txns.arrived = 5;
+        a.txns.committed = 2;
+        a.txns.missed_deadline = 2;
+        a.txns.in_flight_at_end = 1;
+        a.updates.arrived = 3;
+        a.updates.installed_background = 2;
+        a.updates.left_in_os = 1;
+        let mut b = RunReport::default();
+        b.txns.arrived = 8;
+        b.txns.committed = 3;
+        b.txns.missed_deadline = 3;
+        b.txns.in_flight_at_end = 2;
+        b.updates.arrived = 6;
+        b.updates.installed_background = 3;
+        b.updates.left_in_os = 2;
+        b.updates.superseded_skips = 1;
+        let avg = RunReport::average(&[a, b]);
+        assert_eq!(
+            avg.txns.finished() + avg.txns.in_flight_at_end,
+            avg.txns.arrived
+        );
+        assert_eq!(avg.updates.terminal_total(), avg.updates.arrived);
+    }
+
+    #[test]
+    fn average_pools_response_moments() {
+        // Replica A holds samples {0, 2}, replica B holds {2, 4}; the
+        // pooled population {0, 2, 2, 4} has mean 2 and variance 8/3.
+        let mut a = RunReport::default();
+        a.txns.arrived = 2;
+        a.txns.committed = 2;
+        a.txns.response_mean = 1.0;
+        a.txns.response_sd = 2.0_f64.sqrt();
+        let mut b = a.clone();
+        b.txns.response_mean = 3.0;
+        let avg = RunReport::average(&[a, b]);
+        assert!((avg.txns.response_mean - 2.0).abs() < 1e-12);
+        assert!((avg.txns.response_sd - (8.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_timeline_spans_longest_replica() {
+        let window = |t_start: f64, finished: u64| TimelineWindow {
+            t_start,
+            finished,
+            committed: finished,
+            committed_fresh: finished,
+        };
+        let a = RunReport {
+            timeline: vec![window(0.0, 4)],
+            ..RunReport::default()
+        };
+        let b = RunReport {
+            timeline: vec![window(0.0, 2), window(5.0, 9)],
+            ..RunReport::default()
+        };
+        let avg = RunReport::average(&[a, b]);
+        assert_eq!(avg.timeline.len(), 2);
+        assert_eq!(avg.timeline[0].finished, 3); // (4 + 2) / 2 replicas
+        assert_eq!(avg.timeline[1].t_start, 5.0);
+        assert_eq!(avg.timeline[1].finished, 9); // only one replica covers it
     }
 
     #[test]

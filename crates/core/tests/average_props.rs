@@ -1,0 +1,191 @@
+//! Property tests of [`RunReport::average`]: averaging any set of replica
+//! reports that individually satisfy the accounting conservation laws must
+//! yield a report that satisfies them too — independent rounding of a
+//! total and its parts is exactly the bug this guards against.
+
+use proptest::prelude::*;
+use strip_core::report::{RunReport, TimelineWindow, TxnCounts, UpdateCounts};
+
+/// Compact generator seed for one internally-consistent replica report.
+#[derive(Debug, Clone)]
+struct ReplicaSeed {
+    // txn outcome buckets
+    committed: u64,
+    fresh_pct: u8,
+    missed: u64,
+    infeasible: u64,
+    stale: u64,
+    in_flight: u64,
+    view_reads: u64,
+    stale_pct: u8,
+    response_mean: f64,
+    response_sd: f64,
+    // update terminal buckets
+    u_buckets: Vec<u64>,
+    // timeline (window outcome triples; lengths differ across replicas)
+    windows: Vec<(u64, u8, u8)>,
+}
+
+fn replica_strategy() -> impl Strategy<Value = ReplicaSeed> {
+    (
+        (
+            0u64..1_000,
+            0u8..101,
+            0u64..1_000,
+            0u64..1_000,
+            0u64..1_000,
+            0u64..50,
+        ),
+        (0u64..5_000, 0u8..101),
+        (0.0f64..20.0, 0.0f64..5.0),
+        prop::collection::vec(0u64..500, 10usize),
+        prop::collection::vec((0u64..200, 0u8..101, 0u8..101), 0..6),
+    )
+        .prop_map(
+            |(
+                (committed, fresh_pct, missed, infeasible, stale, in_flight),
+                (view_reads, stale_pct),
+                (response_mean, response_sd),
+                u_buckets,
+                windows,
+            )| ReplicaSeed {
+                committed,
+                fresh_pct,
+                missed,
+                infeasible,
+                stale,
+                in_flight,
+                view_reads,
+                stale_pct,
+                response_mean,
+                response_sd,
+                u_buckets,
+                windows,
+            },
+        )
+}
+
+/// Materialises a seed into a report whose totals are *derived* from the
+/// buckets, so every generated replica satisfies the conservation laws by
+/// construction.
+fn build_report(s: &ReplicaSeed) -> RunReport {
+    let txns = TxnCounts {
+        arrived: s.committed + s.missed + s.infeasible + s.stale + s.in_flight,
+        committed: s.committed,
+        committed_fresh: s.committed * u64::from(s.fresh_pct) / 100,
+        missed_deadline: s.missed,
+        aborted_infeasible: s.infeasible,
+        aborted_stale: s.stale,
+        in_flight_at_end: s.in_flight,
+        view_reads: s.view_reads,
+        stale_reads: s.view_reads * u64::from(s.stale_pct) / 100,
+        response_mean: s.response_mean,
+        response_sd: s.response_sd,
+        ..TxnCounts::default()
+    };
+    let &[bg, im, od, sk, exp, ovf, ddp, shed, osd, left] = s.u_buckets.as_slice() else {
+        panic!("generator always yields ten update buckets");
+    };
+    let mut updates = UpdateCounts {
+        installed_background: bg,
+        installed_immediate: im,
+        installed_on_demand: od,
+        superseded_skips: sk,
+        expired_dropped: exp,
+        overflow_dropped: ovf,
+        dedup_dropped: ddp,
+        admission_shed: shed,
+        os_dropped: osd,
+        left_in_update_queue: left,
+        ..UpdateCounts::default()
+    };
+    updates.arrived = updates.terminal_total();
+    let timeline = s
+        .windows
+        .iter()
+        .enumerate()
+        .map(|(w, &(finished, c_pct, f_pct))| {
+            let committed = finished * u64::from(c_pct) / 100;
+            TimelineWindow {
+                t_start: w as f64 * 10.0,
+                finished,
+                committed,
+                committed_fresh: committed * u64::from(f_pct) / 100,
+            }
+        })
+        .collect();
+    RunReport {
+        policy: "UF".into(),
+        txns,
+        updates,
+        timeline,
+        ..RunReport::default()
+    }
+}
+
+/// The conservation laws every replica satisfies by construction and the
+/// averaged report must keep satisfying.
+fn assert_conserved(r: &RunReport, what: &str) {
+    assert_eq!(
+        r.txns.finished() + r.txns.in_flight_at_end,
+        r.txns.arrived,
+        "{what}: transaction outcomes must sum to arrivals"
+    );
+    assert!(
+        r.txns.committed_fresh <= r.txns.committed,
+        "{what}: fresh commits exceed commits"
+    );
+    assert!(
+        r.txns.stale_reads <= r.txns.view_reads,
+        "{what}: stale reads exceed view reads"
+    );
+    assert_eq!(
+        r.updates.terminal_total(),
+        r.updates.arrived,
+        "{what}: update terminal buckets must sum to arrivals"
+    );
+    for (w, t) in r.timeline.iter().enumerate() {
+        assert!(
+            t.committed_fresh <= t.committed && t.committed <= t.finished,
+            "{what}: timeline window {w} outcome ordering broken"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn averaging_preserves_conservation(seeds in prop::collection::vec(replica_strategy(), 1..6)) {
+        let reports: Vec<RunReport> = seeds.iter().map(build_report).collect();
+        for (i, r) in reports.iter().enumerate() {
+            assert_conserved(r, &format!("replica {i}"));
+        }
+        let avg = RunReport::average(&reports);
+        assert_conserved(&avg, "averaged report");
+
+        // The timeline spans the longest replica, never truncates to the
+        // shortest.
+        let longest = reports.iter().map(|r| r.timeline.len()).max().unwrap();
+        prop_assert_eq!(avg.timeline.len(), longest);
+
+        // The derived total stays within the range spanned by the replicas
+        // (rounding each bucket moves the sum by at most half a count per
+        // bucket).
+        let lo = reports.iter().map(|r| r.txns.arrived).min().unwrap();
+        let hi = reports.iter().map(|r| r.txns.arrived).max().unwrap();
+        let slack = 3; // 5 txn buckets / 2, rounded up
+        prop_assert!(
+            avg.txns.arrived + slack >= lo && avg.txns.arrived <= hi + slack,
+            "averaged arrivals {} outside replica range [{lo}, {hi}]",
+            avg.txns.arrived
+        );
+    }
+
+    #[test]
+    fn averaging_one_replica_is_identity(seed in replica_strategy()) {
+        let report = build_report(&seed);
+        let avg = RunReport::average(std::slice::from_ref(&report));
+        prop_assert_eq!(avg, report);
+    }
+}

@@ -8,26 +8,34 @@
 //! repro all --out target/repro       # also export CSV + text
 //! repro all --checkpoint target/ckpt # resumable: rerun picks up where a
 //!                                    # killed sweep stopped
+//! repro trace fig06                  # export Perfetto/CSV traces of one
+//!                                    # representative run per policy
+//! repro trace telecom --trace out/   # trace a scenario preset elsewhere
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use strip_experiments::{
-    export_figure, render_parameter_tables, Campaign, FigureId, RunSettings, SweepRunner,
+    export_figure, render_parameter_tables, run_trace, Campaign, FigureId, RunSettings,
+    SweepRunner, TraceTarget,
 };
+use strip_obs::TraceConfig;
 
 struct Args {
     figures: Vec<FigureId>,
+    trace_targets: Vec<TraceTarget>,
     settings: RunSettings,
     out_dir: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
+    trace_dir: PathBuf,
 }
 
 fn usage() -> String {
     let names: Vec<&str> = FigureId::ALL.iter().map(|f| f.name()).collect();
     format!(
         "usage: repro <all|{}> [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] [--checkpoint DIR]\n\
+         \u{20}      repro trace <figure|program_trading|plant_control|telecom>... [--seconds N] [--seed N] [--trace DIR]\n\
          \n\
          Regenerates the evaluation of 'Applying Update Streams in a Soft\n\
          Real-Time Database System' (SIGMOD 1995). Default run length is the\n\
@@ -37,20 +45,31 @@ fn usage() -> String {
          With --checkpoint DIR every completed data point is persisted and a\n\
          rerun with the same parameters resumes instead of re-simulating; a\n\
          point that crashes is retried once and then reported, without\n\
-         aborting the rest of the campaign.",
+         aborting the rest of the campaign.\n\
+         \n\
+         'repro trace' re-runs one representative configuration of the named\n\
+         figure (or scenario preset) per scheduling policy with the flight\n\
+         recorder attached, and writes <label>.trace.json (Perfetto /\n\
+         chrome://tracing), <label>.records.csv and <label>.gauges.csv under\n\
+         --trace DIR (default target/trace). Tracing is observation-only:\n\
+         the traced run is bit-identical to the untraced one.",
         names.join("|")
     )
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut figures = Vec::new();
+    let mut trace_targets = Vec::new();
+    let mut trace_mode = false;
     let mut settings = RunSettings::default();
     let mut out_dir = None;
     let mut checkpoint_dir = None;
+    let mut trace_dir = PathBuf::from("target/trace");
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "all" => figures.extend(FigureId::ALL),
+            "trace" if !trace_mode && figures.is_empty() => trace_mode = true,
+            "all" if !trace_mode => figures.extend(FigureId::ALL),
             "--seconds" => {
                 let v = it.next().ok_or("--seconds needs a value")?;
                 settings.duration = v
@@ -85,23 +104,74 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--checkpoint needs a value")?;
                 checkpoint_dir = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a value")?;
+                trace_dir = PathBuf::from(v);
+            }
             "--help" | "-h" => return Err(usage()),
+            name if trace_mode => trace_targets.push(
+                name.parse::<TraceTarget>()
+                    .map_err(|e| format!("{e}\n\n{}", usage()))?,
+            ),
             name => figures.push(
                 name.parse::<FigureId>()
                     .map_err(|e| format!("{e}\n\n{}", usage()))?,
             ),
         }
     }
-    if figures.is_empty() {
+    if trace_mode && trace_targets.is_empty() {
+        return Err(format!(
+            "repro trace needs at least one target\n\n{}",
+            usage()
+        ));
+    }
+    if figures.is_empty() && trace_targets.is_empty() {
         return Err(usage());
     }
     figures.dedup();
+    trace_targets.dedup();
     Ok(Args {
         figures,
+        trace_targets,
         settings,
         out_dir,
         checkpoint_dir,
+        trace_dir,
     })
+}
+
+/// Runs the `repro trace` subcommand: one traced run per (target, policy),
+/// exported under `args.trace_dir`.
+fn run_trace_mode(args: &Args) -> ExitCode {
+    println!(
+        "# repro trace: {} target(s), {} simulated seconds, seed {}, exporting to {}",
+        args.trace_targets.len(),
+        args.settings.duration,
+        args.settings.seed,
+        args.trace_dir.display()
+    );
+    let mut code = ExitCode::SUCCESS;
+    for target in &args.trace_targets {
+        let started = std::time::Instant::now();
+        match run_trace(
+            *target,
+            &args.settings,
+            TraceConfig::default(),
+            &args.trace_dir,
+        ) {
+            Ok(written) => {
+                for path in &written {
+                    println!("# wrote {}", path.display());
+                }
+                println!("# {} traced in {:.1?}", target.name(), started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("# {} failed: {e}", target.name());
+                code = ExitCode::FAILURE;
+            }
+        }
+    }
+    code
 }
 
 fn main() -> ExitCode {
@@ -113,6 +183,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if !args.trace_targets.is_empty() {
+        return run_trace_mode(&args);
+    }
     println!(
         "# repro: {} experiment(s), {} simulated seconds per point, seed {}",
         args.figures.len(),
@@ -211,6 +284,25 @@ mod tests {
     fn out_dir_is_captured() {
         let a = parse(&["tables", "--out", "/tmp/x"]).unwrap();
         assert_eq!(a.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn trace_mode_parses_targets_and_dir() {
+        let a = parse(&["trace", "fig06", "telecom", "--seconds", "20"]).unwrap();
+        assert_eq!(a.trace_targets.len(), 2);
+        assert!(a.figures.is_empty());
+        assert_eq!(a.settings.duration, 20.0);
+        assert_eq!(a.trace_dir, std::path::Path::new("target/trace"));
+
+        let a = parse(&["trace", "plant_control", "--trace", "/tmp/tr"]).unwrap();
+        assert_eq!(a.trace_dir, std::path::Path::new("/tmp/tr"));
+
+        // Bare `trace`, tables, and unknown targets are rejected.
+        assert!(parse(&["trace"]).is_err());
+        assert!(parse(&["trace", "tables"]).is_err());
+        assert!(parse(&["trace", "fig99"]).is_err());
+        // Outside trace mode the scenario names are not figures.
+        assert!(parse(&["telecom"]).is_err());
     }
 
     #[test]

@@ -26,11 +26,13 @@ pub mod figures;
 pub mod runner;
 pub mod sweep;
 pub mod table;
+pub mod tracing;
 
 pub use figures::{render_parameter_tables, Campaign, FigureId};
 pub use runner::{PointFailure, SweepOutcome, SweepRunner};
 pub use sweep::{run_sweep, RunSettings};
 pub use table::{Figure, Series};
+pub use tracing::{run_trace, trace_configs, Scenario, TraceTarget};
 
 use std::io::Write as _;
 use std::path::Path;

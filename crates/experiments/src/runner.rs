@@ -16,9 +16,11 @@
 //!   files instead of re-simulating.
 //!
 //! Checkpoints are plain `key value` text (one field per line) so they stay
-//! inspectable and diffable; a version header plus an identity check
-//! (policy/seed/duration must match the config being resumed) protects
-//! against stale files from a differently-parameterised run.
+//! inspectable and diffable. A version header plus a fingerprint of the
+//! *complete* [`SimConfig`] (see [`config_fingerprint`]) protect against
+//! stale files from a differently-parameterised run: any changed parameter
+//! — not just policy/seed/duration — invalidates the checkpoint, and the
+//! point is re-simulated.
 
 use std::any::Any;
 use std::fmt;
@@ -161,7 +163,7 @@ impl SweepRunner {
             for _attempt in 0..2 {
                 match catch_unwind(AssertUnwindSafe(|| (self.run)(cfg))) {
                     Ok(report) => {
-                        self.store_checkpoint(sweep, i, &report);
+                        self.store_checkpoint(sweep, i, cfg, &report);
                         return Some(report);
                     }
                     Err(payload) => message = panic_message(payload.as_ref()),
@@ -198,30 +200,95 @@ impl SweepRunner {
             .map(|d| d.join(format!("{sweep}-{index:04}.ckpt")))
     }
 
-    /// Loads a completed point, rejecting checkpoints whose identity (policy,
-    /// seed, duration) does not match the configuration being resumed — e.g.
-    /// files left by a run with a different `--seconds` or `--seed`.
+    /// Loads a completed point, rejecting checkpoints whose stored
+    /// [`config_fingerprint`] does not match the configuration being
+    /// resumed — e.g. files left by a run with a different `--seconds`,
+    /// `--seed`, or *any* other simulation parameter. The legacy identity
+    /// fields (policy/seed/duration) are still cross-checked as a
+    /// belt-and-braces guard against hand-edited files.
     fn load_checkpoint(&self, sweep: &str, index: usize, cfg: &SimConfig) -> Option<RunReport> {
         let path = self.checkpoint_path(sweep, index)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let report = parse_report(&text)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        let Some(report) = parse_report(&text) else {
+            let found = text.lines().next().unwrap_or("").trim_end();
+            if found.starts_with("strip-checkpoint") && found != CHECKPOINT_HEADER {
+                eprintln!(
+                    "# checkpoint {}: version mismatch (found \"{found}\", \
+                     expected \"{CHECKPOINT_HEADER}\"); re-running point",
+                    path.display()
+                );
+            }
+            return None;
+        };
+        let expected = config_fingerprint(cfg);
+        let stored = text
+            .lines()
+            .find_map(|l| l.strip_prefix("config_fingerprint "))
+            .and_then(|v| u64::from_str_radix(v.trim_end(), 16).ok());
+        match stored {
+            None => {
+                eprintln!(
+                    "# checkpoint {}: no config fingerprint; re-running point",
+                    path.display()
+                );
+                return None;
+            }
+            Some(got) if got != expected => {
+                eprintln!(
+                    "# checkpoint {}: config fingerprint {got:016x} does not match \
+                     the resumed configuration ({expected:016x}) — a simulation \
+                     parameter changed; re-running point",
+                    path.display()
+                );
+                return None;
+            }
+            Some(_) => {}
+        }
         let matches = report.policy == cfg.policy.label()
             && report.seed == cfg.seed
             && (report.duration - cfg.duration).abs() < 1e-9;
+        if !matches {
+            eprintln!(
+                "# checkpoint {}: identity fields disagree with the fingerprinted \
+                 config; re-running point",
+                path.display()
+            );
+        }
         matches.then_some(report)
     }
 
     /// Persists a completed point atomically (write-then-rename), so a kill
-    /// mid-write leaves either no checkpoint or a complete one.
-    fn store_checkpoint(&self, sweep: &str, index: usize, report: &RunReport) {
+    /// mid-write leaves either no checkpoint or a complete one. The full
+    /// config fingerprint rides along as an extra `key value` line (ignored
+    /// by [`parse_report`], checked on resume).
+    fn store_checkpoint(&self, sweep: &str, index: usize, cfg: &SimConfig, report: &RunReport) {
         let Some(path) = self.checkpoint_path(sweep, index) else {
             return;
         };
+        let mut text = serialize_report(report);
+        let _ = writeln!(text, "config_fingerprint {:016x}", config_fingerprint(cfg));
         let tmp = path.with_extension("ckpt.tmp");
-        if std::fs::write(&tmp, serialize_report(report)).is_ok() {
+        if std::fs::write(&tmp, text).is_ok() {
             let _ = std::fs::rename(&tmp, &path);
         }
     }
+}
+
+/// A 64-bit FNV-1a fingerprint of the *complete* configuration, taken over
+/// its `Debug` form (every `SimConfig` field derives `Debug`, and floats
+/// render in shortest-round-trip form, so two configs fingerprint equal iff
+/// every parameter is bit-identical). Stored in each checkpoint and checked
+/// on resume, so changing any parameter — `lambda_u`, queue bounds, cost
+/// model, staleness criterion, … — invalidates old checkpoints instead of
+/// silently serving results from a different experiment.
+#[must_use]
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{cfg:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -241,7 +308,9 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 // are one `timeline t finished committed fresh` line each, in order.
 // `resilience.recovery_secs` is written only when present.
 
-const CHECKPOINT_HEADER: &str = "strip-checkpoint v1";
+// v2: checkpoints carry a `config_fingerprint` of the full SimConfig; v1
+// files (identity = policy/seed/duration only) are rejected and re-run.
+const CHECKPOINT_HEADER: &str = "strip-checkpoint v2";
 
 /// Serialises a report to the checkpoint text form.
 #[must_use]
@@ -536,9 +605,32 @@ mod tests {
     fn parse_rejects_garbage_and_missing_fields() {
         assert!(parse_report("").is_none());
         assert!(parse_report("strip-checkpoint v0\npolicy UF\n").is_none());
+        // Pre-fingerprint checkpoints are rejected wholesale by the version
+        // bump, even when their body would otherwise parse.
+        let v1 = serialize_report(&sample_report())
+            .replace("strip-checkpoint v2", "strip-checkpoint v1");
+        assert!(parse_report(&v1).is_none());
         let full = serialize_report(&sample_report());
         let truncated: String = full.lines().take(10).collect::<Vec<_>>().join("\n");
         assert!(parse_report(&truncated).is_none());
+    }
+
+    #[test]
+    fn config_fingerprint_covers_every_parameter() {
+        let base = configs(1).remove(0);
+        let same = configs(1).remove(0);
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&same));
+        // Parameters outside the legacy policy/seed/duration identity must
+        // still change the fingerprint.
+        let mut lam = base.clone();
+        lam.lambda_u += 1.0;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&lam));
+        let mut uq = base.clone();
+        uq.uq_max = 17;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&uq));
+        let mut cost = base.clone();
+        cost.costs.x_scan += 1.0;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&cost));
     }
 
     #[test]
@@ -615,6 +707,40 @@ mod tests {
         assert_eq!(second.resumed, 3);
         assert!(second.failures.is_empty());
         assert_eq!(second.replica_sets, first.replica_sets);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_non_identity_param_invalidates_checkpoints() {
+        // Regression: v1 checkpoints keyed identity on policy/seed/duration
+        // only, so changing e.g. the update arrival rate silently resumed
+        // results from the *old* experiment. The fingerprint catches it.
+        let dir = temp_dir("fingerprint");
+        let runner = SweepRunner::new()
+            .with_checkpoint_dir(&dir)
+            .with_run_fn(fake_run());
+        let settings = RunSettings::quick(2.0);
+        let first = runner.run_replicated(&settings, "fp", configs(2));
+        assert_eq!(first.resumed, 0);
+        // Same policy/seed/duration, different lambda_u: must re-simulate.
+        let mut changed = configs(2);
+        for c in &mut changed {
+            c.lambda_u += 5.0;
+        }
+        let out = runner.run_replicated(&settings, "fp", changed.clone());
+        assert_eq!(
+            out.resumed, 0,
+            "stale checkpoint served for a changed config"
+        );
+        assert!(out.failures.is_empty());
+        // The re-run overwrote the checkpoints; an identical third pass now
+        // resumes all points from disk.
+        let poisoned: RunFn = Arc::new(|_: &SimConfig| panic!("should have resumed"));
+        let third = SweepRunner::new()
+            .with_checkpoint_dir(&dir)
+            .with_run_fn(poisoned)
+            .run_replicated(&settings, "fp", changed);
+        assert_eq!(third.resumed, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,247 @@
+//! `repro trace` — capture one representative traced run per policy.
+//!
+//! A figure aggregates thousands of transactions into a handful of points;
+//! when a reproduced curve looks wrong, the question is always *what did
+//! the scheduler actually do*. This module answers it by re-running one
+//! representative configuration of the requested figure (or one of the
+//! paper's three motivating scenarios) per scheduling policy with the
+//! `strip-obs` flight recorder attached, then exporting
+//!
+//! * `<label>.trace.json` — Chrome trace-event JSON, loadable in Perfetto
+//!   or `chrome://tracing` (one track per activity, mirroring the paper's
+//!   Fig 3 ρt/ρu CPU split);
+//! * `<label>.records.csv` — the raw typed records;
+//! * `<label>.gauges.csv` — the periodic gauge series (queue depths,
+//!   ready-queue length, per-class stale counts, cumulative ρt/ρu).
+//!
+//! The traced run is observation-only: it produces bit-identical results
+//! to the untraced sweep point it represents.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use strip_core::config::{DisturbanceSpec, Policy, QueuePolicy, SimConfig};
+use strip_db::staleness::StalenessSpec;
+use strip_obs::{chrome_trace_json, gauges_csv, records_csv, TraceConfig};
+use strip_workload::{run_paper_sim_traced, scenarios};
+
+use crate::figures::FigureId;
+use crate::sweep::RunSettings;
+
+/// The paper's three motivating application domains (§2), as trace targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Program trading: large object count, tight deadlines.
+    ProgramTrading,
+    /// Plant control: small hot database, high-importance skew.
+    PlantControl,
+    /// Telecommunications network management: bursty update feed.
+    Telecom,
+}
+
+impl Scenario {
+    /// All scenarios, in presentation order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::ProgramTrading,
+        Scenario::PlantControl,
+        Scenario::Telecom,
+    ];
+
+    /// Canonical CLI name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::ProgramTrading => "program_trading",
+            Scenario::PlantControl => "plant_control",
+            Scenario::Telecom => "telecom",
+        }
+    }
+}
+
+/// What `repro trace` should capture: a paper figure's representative
+/// configuration, or a scenario preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceTarget {
+    /// One representative configuration of a paper figure.
+    Figure(FigureId),
+    /// One of the motivating application scenarios.
+    Scenario(Scenario),
+}
+
+impl TraceTarget {
+    /// Canonical CLI name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceTarget::Figure(f) => f.name(),
+            TraceTarget::Scenario(s) => s.name(),
+        }
+    }
+}
+
+impl FromStr for TraceTarget {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(sc) = Scenario::ALL.iter().find(|sc| sc.name() == s) {
+            return Ok(TraceTarget::Scenario(*sc));
+        }
+        match FigureId::from_str(s) {
+            Ok(FigureId::Tables) => {
+                Err("'tables' runs no simulation; pick a figure or scenario".to_string())
+            }
+            Ok(f) => Ok(TraceTarget::Figure(f)),
+            Err(_) => Err(format!(
+                "unknown trace target '{s}' (expected a figure like fig06, or one of {})",
+                Scenario::ALL
+                    .iter()
+                    .map(|sc| sc.name())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            )),
+        }
+    }
+}
+
+/// The λt at which the representative figure configurations run: the knee
+/// of the paper's curves, where the policies differ most visibly.
+const TRACE_LAMBDA_T: f64 = 12.0;
+
+/// Builds the labelled configurations a target traces: one per paper
+/// policy, parameterised like the target's sweep at its most informative
+/// operating point.
+#[must_use]
+pub fn trace_configs(target: TraceTarget, settings: &RunSettings) -> Vec<(String, SimConfig)> {
+    Policy::PAPER_SET
+        .iter()
+        .map(|&policy| {
+            let cfg = match target {
+                TraceTarget::Scenario(sc) => {
+                    let built = match sc {
+                        Scenario::ProgramTrading => {
+                            scenarios::program_trading(policy, settings.seed)
+                        }
+                        Scenario::PlantControl => scenarios::plant_control(policy, settings.seed),
+                        Scenario::Telecom => scenarios::telecom(policy, settings.seed),
+                    };
+                    settings.apply(built)
+                }
+                TraceTarget::Figure(fig) => {
+                    let b = SimConfig::builder().policy(policy).lambda_t(TRACE_LAMBDA_T);
+                    let b = match fig {
+                        // Figures 11: queue-discipline comparison → LIFO leg.
+                        FigureId::Fig11 => b.queue_policy(QueuePolicy::Lifo),
+                        // Figures 12–15: the abort-on-stale mode.
+                        FigureId::Fig12 | FigureId::Fig13 | FigureId::Fig14 | FigureId::Fig15 => {
+                            b.abort_on_stale(true)
+                        }
+                        // Figure 16: unapplied-update staleness criterion.
+                        FigureId::Fig16 => b.staleness(StalenessSpec::UnappliedUpdate),
+                        // figR1: a mid-run feed outage with catch-up flood.
+                        FigureId::FigR1 => b.disturbance(Some(DisturbanceSpec {
+                            outage_from: settings.duration * 0.4,
+                            outage_secs: 5.0_f64.min(settings.duration * 0.1),
+                            ..DisturbanceSpec::default()
+                        })),
+                        // Figures 3–10 share the baseline workload.
+                        _ => b,
+                    };
+                    settings.apply(b.build().expect("trace config"))
+                }
+            };
+            (format!("{}-{}", target.name(), policy.label()), cfg)
+        })
+        .collect()
+}
+
+/// Runs every configuration of `target` with the flight recorder attached
+/// and writes the three export files per run under `dir`. Returns the
+/// paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; an invalid generated configuration is
+/// reported as [`std::io::ErrorKind::InvalidInput`].
+pub fn run_trace(
+    target: TraceTarget,
+    settings: &RunSettings,
+    trace: TraceConfig,
+    dir: &Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (label, cfg) in trace_configs(target, settings) {
+        let (_report, data) = run_paper_sim_traced(&cfg, trace).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{label}: {e}"))
+        })?;
+        for (suffix, text) in [
+            ("trace.json", chrome_trace_json(&data)),
+            ("records.csv", records_csv(&data)),
+            ("gauges.csv", gauges_csv(&data)),
+        ] {
+            let path = dir.join(format!("{label}.{suffix}"));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(text.as_bytes())?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_parse_figures_and_scenarios() {
+        assert_eq!(
+            "fig06".parse::<TraceTarget>(),
+            Ok(TraceTarget::Figure(FigureId::Fig06))
+        );
+        assert_eq!(
+            "plant_control".parse::<TraceTarget>(),
+            Ok(TraceTarget::Scenario(Scenario::PlantControl))
+        );
+        assert!("tables".parse::<TraceTarget>().is_err());
+        assert!("fig99".parse::<TraceTarget>().is_err());
+    }
+
+    #[test]
+    fn figure_targets_build_one_config_per_policy() {
+        let settings = RunSettings::quick(5.0);
+        let configs = trace_configs(TraceTarget::Figure(FigureId::Fig16), &settings);
+        assert_eq!(configs.len(), Policy::PAPER_SET.len());
+        for (label, cfg) in &configs {
+            assert!(label.starts_with("fig16-"), "label {label}");
+            assert_eq!(cfg.duration, 5.0);
+            assert_eq!(cfg.staleness, StalenessSpec::UnappliedUpdate);
+        }
+    }
+
+    #[test]
+    fn trace_run_writes_three_files_per_policy() {
+        let dir = std::env::temp_dir().join(format!(
+            "strip-trace-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let settings = RunSettings::quick(2.0);
+        let written = run_trace(
+            TraceTarget::Figure(FigureId::Fig06),
+            &settings,
+            TraceConfig::default(),
+            &dir,
+        )
+        .expect("trace run");
+        assert_eq!(written.len(), 3 * Policy::PAPER_SET.len());
+        for path in &written {
+            let meta = std::fs::metadata(path).expect("exported file");
+            assert!(meta.len() > 0, "{} is empty", path.display());
+        }
+        let json = std::fs::read_to_string(dir.join("fig06-UF.trace.json")).expect("chrome trace");
+        assert!(json.contains("\"traceEvents\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

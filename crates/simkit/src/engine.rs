@@ -56,6 +56,14 @@ pub trait Simulation {
 
     /// Handles one event at its scheduled time.
     fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+
+    /// Observation hook: called by the engine after each handled event,
+    /// once the model state reflects it. Intended for read-only observers
+    /// (trace sinks, gauge samplers) that must not feed back into the
+    /// simulation — implementations must not mutate model state that the
+    /// event logic reads. The default is a no-op, so models that do not
+    /// observe pay nothing (static dispatch, empty inlined body).
+    fn after_event(&mut self, _now: SimTime) {}
 }
 
 /// The discrete-event engine: clock plus calendar.
@@ -134,6 +142,7 @@ impl<E> Engine<E> {
                 calendar: &mut self.calendar,
             };
             sim.handle(ev, &mut ctx);
+            sim.after_event(t);
         }
         self.now = self.now.max(end);
     }
@@ -188,6 +197,40 @@ mod tests {
         engine.prime(SimTime::from_secs(2.0), 0);
         engine.run_until(&mut sim, SimTime::from_secs(2.0));
         assert_eq!(sim.fired, vec![(2.0, 0)]);
+    }
+
+    /// A model that counts observation-hook calls.
+    struct Observed {
+        handled: u32,
+        observed: Vec<f64>,
+    }
+
+    impl Simulation for Observed {
+        type Event = u32;
+
+        fn handle(&mut self, event: u32, ctx: &mut Ctx<'_, u32>) {
+            self.handled += 1;
+            if event > 0 {
+                ctx.schedule_in(1.0, event - 1);
+            }
+        }
+
+        fn after_event(&mut self, now: SimTime) {
+            self.observed.push(now.as_secs());
+        }
+    }
+
+    #[test]
+    fn after_event_fires_once_per_handled_event() {
+        let mut engine = Engine::new();
+        let mut sim = Observed {
+            handled: 0,
+            observed: vec![],
+        };
+        engine.prime(SimTime::from_secs(0.0), 3);
+        engine.run_until(&mut sim, SimTime::from_secs(10.0));
+        assert_eq!(sim.handled, 4);
+        assert_eq!(sim.observed, vec![0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]

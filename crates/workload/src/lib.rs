@@ -25,8 +25,9 @@ pub use generators::{PeriodicUpdates, PoissonTxns, PoissonUpdates, UpdateStream}
 pub use trace::Trace;
 
 use strip_core::config::{ConfigError, SimConfig};
-use strip_core::controller::run_simulation_checked;
+use strip_core::controller::{run_simulation_checked, run_simulation_traced};
 use strip_core::report::RunReport;
+use strip_obs::{TraceConfig, TraceData};
 
 /// Runs one simulation of `cfg` with the paper's Poisson workload model.
 ///
@@ -70,5 +71,30 @@ pub fn run_paper_sim_checked(cfg: &SimConfig) -> Result<RunReport, ConfigError> 
             run_simulation_checked(cfg, DisturbedUpdates::new(updates, spec, cfg.seed), txns)
         }
         None => run_simulation_checked(cfg, updates, txns),
+    }
+}
+
+/// Like [`run_paper_sim_checked`], but with a flight recorder attached
+/// (see `strip-obs`): returns the trace capture alongside the report. The
+/// report is bit-identical to [`run_paper_sim_checked`]'s for the same
+/// `cfg` — tracing is observation-only.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `cfg` fails validation.
+pub fn run_paper_sim_traced(
+    cfg: &SimConfig,
+    trace: TraceConfig,
+) -> Result<(RunReport, TraceData), ConfigError> {
+    let updates = generators::UpdateStream::from_config(cfg);
+    let txns = PoissonTxns::from_config(cfg);
+    match cfg.disturbance {
+        Some(spec) => run_simulation_traced(
+            cfg,
+            DisturbedUpdates::new(updates, spec, cfg.seed),
+            txns,
+            trace,
+        ),
+        None => run_simulation_traced(cfg, updates, txns, trace),
     }
 }

@@ -9,6 +9,8 @@
 //!   store, staleness tracking, OS/update queues, CPU cost model).
 //! * [`core`] — the paper's contribution: the controller with the UF / TF /
 //!   SU / OD update-scheduling policies and the extended metrics.
+//! * [`obs`] — trace-level observability: ring-buffered typed trace
+//!   records, periodic gauge sampling, Chrome-trace/CSV exporters.
 //! * [`workload`] — Poisson update-stream and transaction generators plus
 //!   scenario presets.
 //! * [`experiments`] — the harness that regenerates every figure of the
@@ -33,6 +35,7 @@
 pub use strip_core as core;
 pub use strip_db as db;
 pub use strip_experiments as experiments;
+pub use strip_obs as obs;
 pub use strip_sim as sim;
 pub use strip_workload as workload;
 

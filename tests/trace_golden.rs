@@ -1,0 +1,123 @@
+//! Golden equivalence: the strip-obs flight recorder is observation-only.
+//!
+//! For every scheduling policy, a run with the recorder attached — at the
+//! default gauge cadence, at a 4× denser cadence, and with gauge sampling
+//! off entirely — must produce a `RunReport` **bit-identical** to the
+//! untraced run of the same configuration. Any divergence means an
+//! observer perturbed the simulation (scheduled an event, consumed RNG,
+//! or reordered work), which is the one thing the tracing layer is never
+//! allowed to do.
+
+use strip::core::config::{Policy, SimConfig};
+use strip::obs::{TraceConfig, TraceKind};
+use strip::workload::{run_paper_sim_checked, run_paper_sim_traced};
+
+/// The golden configuration: saturated enough that every record kind
+/// (slices, preemptions, installs, aborts, commits) actually fires.
+fn golden_cfg(policy: Policy) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .lambda_t(12.0)
+        .duration(50.0)
+        .seed(0x601D)
+        .build()
+        .expect("golden config is valid")
+}
+
+#[test]
+fn traced_runs_are_bit_identical_to_untraced() {
+    for policy in Policy::PAPER_SET {
+        let cfg = golden_cfg(policy);
+        let untraced = run_paper_sim_checked(&cfg).expect("untraced run");
+        for trace in [
+            TraceConfig::default(),
+            TraceConfig {
+                gauge_every: Some(0.25),
+                ..TraceConfig::default()
+            },
+            TraceConfig {
+                gauge_every: None,
+                ..TraceConfig::default()
+            },
+        ] {
+            let (traced, data) = run_paper_sim_traced(&cfg, trace).expect("traced run");
+            assert_eq!(
+                untraced,
+                traced,
+                "{}: traced report diverged (gauge_every {:?})",
+                policy.label(),
+                trace.gauge_every
+            );
+            assert_eq!(data.policy, policy.label());
+            match trace.gauge_every {
+                Some(_) => assert!(!data.gauges.is_empty(), "cadence set but no gauges"),
+                None => assert!(data.gauges.is_empty(), "gauges sampled with cadence off"),
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_trace_captures_every_record_kind() {
+    let cfg = golden_cfg(Policy::UpdatesFirst);
+    let (report, data) = run_paper_sim_traced(&cfg, TraceConfig::default()).expect("traced run");
+
+    let mut starts = 0u64;
+    let mut ends = 0u64;
+    let mut commits = 0u64;
+    let mut installs = 0u64;
+    let mut preempts = 0u64;
+    for r in &data.records {
+        match r.kind {
+            TraceKind::SliceStart { .. } => starts += 1,
+            TraceKind::SliceEnd { .. } => ends += 1,
+            TraceKind::Commit { .. } => commits += 1,
+            TraceKind::Install { .. } => installs += 1,
+            TraceKind::Preempt { .. } => preempts += 1,
+            _ => {}
+        }
+    }
+    assert!(starts > 0 && ends > 0, "no CPU slices recorded");
+    assert!(preempts > 0, "UF under load must preempt");
+    // The ring buffer may have evicted the run's earliest records, so the
+    // retained counts are lower bounds only when eviction happened.
+    if data.overwritten == 0 {
+        assert_eq!(
+            commits, report.txns.committed,
+            "one Commit record per committed transaction"
+        );
+        assert_eq!(
+            installs,
+            report.updates.installed_background
+                + report.updates.installed_immediate
+                + report.updates.installed_on_demand
+                + report.updates.superseded_skips,
+            "one Install record per terminal apply decision"
+        );
+        assert_eq!(starts, ends, "every slice start has a matching end");
+    }
+}
+
+#[test]
+fn gauge_cadence_only_changes_gauges() {
+    let cfg = golden_cfg(Policy::OnDemand);
+    let (_, sparse) = run_paper_sim_traced(&cfg, TraceConfig::default()).expect("sparse");
+    let (_, dense) = run_paper_sim_traced(
+        &cfg,
+        TraceConfig {
+            gauge_every: Some(0.25),
+            ..TraceConfig::default()
+        },
+    )
+    .expect("dense");
+    assert_eq!(
+        sparse.records, dense.records,
+        "gauge cadence must not change the record stream"
+    );
+    assert!(
+        dense.gauges.len() > sparse.gauges.len(),
+        "4x cadence should sample more gauges ({} vs {})",
+        dense.gauges.len(),
+        sparse.gauges.len()
+    );
+}
