@@ -165,7 +165,7 @@ pub struct Controller<U, T> {
     /// Update-triggered rules (extension).
     rules: Option<RuleSet>,
     rule_queue: std::collections::VecDeque<(u32, SimTime)>,
-    rule_pending: std::collections::HashSet<u32>,
+    rule_pending: std::collections::BTreeSet<u32>,
     /// Buffer-pool model (disk extension).
     io_rng: Xoshiro256pp,
     /// Per-object view-read counts, feeding the HotFirst discipline
@@ -298,7 +298,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             hist_rng,
             rules,
             rule_queue: std::collections::VecDeque::new(),
-            rule_pending: std::collections::HashSet::new(),
+            rule_pending: std::collections::BTreeSet::new(),
             io_rng: root.substream(0xD15C),
             read_counts: [vec![0; cfg.n_low as usize], vec![0; cfg.n_high as usize]],
             outage,

@@ -377,8 +377,10 @@ impl RunReport {
     pub fn average(reports: &[RunReport]) -> RunReport {
         assert!(!reports.is_empty(), "cannot average zero reports");
         let n = reports.len() as f64;
+        // lint: allow(raw-f64-sum, reason=field-wise replica mean; exact sum/n semantics are pinned by the conservation-rounding proptests)
         let mf = |f: &dyn Fn(&RunReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
         let mu = |f: &dyn Fn(&RunReport) -> u64| {
+            // lint: allow(raw-f64-sum, reason=lossless u128 count sum, not a float reduction)
             (reports.iter().map(|r| f(r) as u128).sum::<u128>() as f64 / n).round() as u64
         };
         let first = &reports[0];
@@ -411,6 +413,7 @@ impl RunReport {
                         .iter()
                         .filter_map(|r| r.timeline.get(w))
                         .map(|t| f(t) as u128)
+                        // lint: allow(raw-f64-sum, reason=lossless u128 count sum, not a float reduction)
                         .sum::<u128>() as f64
                         / covering)
                         .round() as u64
@@ -523,6 +526,7 @@ impl RunReport {
                     if recovered.is_empty() {
                         None
                     } else {
+                        // lint: allow(raw-f64-sum, reason=exact mean over the recovering replicas; Welford would shift the pinned resilience figures by an ulp)
                         Some(recovered.iter().sum::<f64>() / recovered.len() as f64)
                     }
                 },

@@ -154,7 +154,10 @@ impl SweepRunner {
         let failures = Mutex::new(Vec::new());
         let resumed = AtomicUsize::new(0);
         let results: Vec<Option<RunReport>> = run_indexed(jobs.len(), workers, |i| {
-            let cfg = &jobs[i];
+            let Some(cfg) = jobs.get(i) else {
+                // run_indexed only hands out indices < jobs.len().
+                return None;
+            };
             if let Some(report) = self.load_checkpoint(sweep, i, cfg) {
                 resumed.fetch_add(1, Ordering::Relaxed);
                 return Some(report);
@@ -169,9 +172,12 @@ impl SweepRunner {
                     Err(payload) => message = panic_message(payload.as_ref()),
                 }
             }
+            // A panic while another worker held the lock only poisons the
+            // Vec push, which cannot leave it inconsistent: recover the
+            // guard rather than cascading the panic through the sweep.
             failures
                 .lock()
-                .expect("failure list poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(PointFailure {
                     sweep: sweep.to_string(),
                     index: i,
@@ -181,7 +187,9 @@ impl SweepRunner {
                 });
             None
         });
-        let mut failures = failures.into_inner().expect("failure list poisoned");
+        let mut failures = failures
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         failures.sort_by_key(|f| f.index);
         let replica_sets = results
             .chunks(replicas)
@@ -412,7 +420,7 @@ pub fn parse_report(text: &str) -> Option<RunReport> {
     if lines.next()?.trim_end() != CHECKPOINT_HEADER {
         return None;
     }
-    let mut map: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    let mut map: std::collections::BTreeMap<&str, &str> = std::collections::BTreeMap::new();
     let mut timeline = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -453,10 +461,10 @@ pub fn parse_report(text: &str) -> Option<RunReport> {
     t.view_reads = u("txns.view_reads")?;
     t.response_mean = f("txns.response_mean")?;
     t.response_sd = f("txns.response_sd")?;
-    for (i, name) in ["low", "high"].iter().enumerate() {
-        t.by_class[i].arrived = u(&format!("txns.{name}.arrived"))?;
-        t.by_class[i].committed = u(&format!("txns.{name}.committed"))?;
-        t.by_class[i].committed_fresh = u(&format!("txns.{name}.committed_fresh"))?;
+    for (class, name) in t.by_class.iter_mut().zip(["low", "high"]) {
+        class.arrived = u(&format!("txns.{name}.arrived"))?;
+        class.committed = u(&format!("txns.{name}.committed"))?;
+        class.committed_fresh = u(&format!("txns.{name}.committed_fresh"))?;
     }
     let d = &mut r.updates;
     d.arrived = u("updates.arrived")?;

@@ -21,7 +21,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
-use strip_core::config::{DisturbanceSpec, Policy, QueuePolicy, SimConfig};
+use strip_core::config::{ConfigError, DisturbanceSpec, Policy, QueuePolicy, SimConfig};
 use strip_db::staleness::StalenessSpec;
 use strip_obs::{chrome_trace_json, gauges_csv, records_csv, TraceConfig};
 use strip_workload::{run_paper_sim_traced, scenarios};
@@ -111,8 +111,16 @@ const TRACE_LAMBDA_T: f64 = 12.0;
 /// Builds the labelled configurations a target traces: one per paper
 /// policy, parameterised like the target's sweep at its most informative
 /// operating point.
-#[must_use]
-pub fn trace_configs(target: TraceTarget, settings: &RunSettings) -> Vec<(String, SimConfig)> {
+///
+/// # Errors
+///
+/// Returns the builder's [`ConfigError`] when a figure's representative
+/// configuration fails validation (e.g. an out-of-range override in
+/// `settings`).
+pub fn trace_configs(
+    target: TraceTarget,
+    settings: &RunSettings,
+) -> Result<Vec<(String, SimConfig)>, ConfigError> {
     Policy::PAPER_SET
         .iter()
         .map(|&policy| {
@@ -147,10 +155,10 @@ pub fn trace_configs(target: TraceTarget, settings: &RunSettings) -> Vec<(String
                         // Figures 3–10 share the baseline workload.
                         _ => b,
                     };
-                    settings.apply(b.build().expect("trace config"))
+                    settings.apply(b.build()?)
                 }
             };
-            (format!("{}-{}", target.name(), policy.label()), cfg)
+            Ok((format!("{}-{}", target.name(), policy.label()), cfg))
         })
         .collect()
 }
@@ -170,8 +178,10 @@ pub fn run_trace(
     dir: &Path,
 ) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
+    let configs = trace_configs(target, settings)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
     let mut written = Vec::new();
-    for (label, cfg) in trace_configs(target, settings) {
+    for (label, cfg) in configs {
         let (_report, data) = run_paper_sim_traced(&cfg, trace).map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{label}: {e}"))
         })?;
@@ -210,7 +220,8 @@ mod tests {
     #[test]
     fn figure_targets_build_one_config_per_policy() {
         let settings = RunSettings::quick(5.0);
-        let configs = trace_configs(TraceTarget::Figure(FigureId::Fig16), &settings);
+        let configs =
+            trace_configs(TraceTarget::Figure(FigureId::Fig16), &settings).expect("trace configs");
         assert_eq!(configs.len(), Policy::PAPER_SET.len());
         for (label, cfg) in &configs {
             assert!(label.starts_with("fig16-"), "label {label}");

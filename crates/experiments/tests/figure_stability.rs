@@ -1,0 +1,36 @@
+//! Figure output must be byte-stable: two identical campaigns render
+//! byte-equal CSV and ASCII, run after run.
+//!
+//! This is the observable consequence of rule D2 (no hash collections in
+//! sim/report paths): a `HashMap` anywhere between the sweep and the emit
+//! point would reorder series or points between processes and break this
+//! test only *sometimes* — exactly the flakiness the lint exists to
+//! prevent. `fig04` exercises the shared baseline sweep; `fig11` adds the
+//! queue-discipline comparison (its own sweep plus derived series).
+
+use strip_experiments::{Campaign, FigureId, RunSettings};
+
+fn render_all(id: FigureId) -> String {
+    let mut campaign = Campaign::new(RunSettings::quick(2.0));
+    let mut blob = String::new();
+    for figure in campaign.figure(id) {
+        blob.push_str(&figure.to_csv());
+        blob.push('\n');
+        blob.push_str(&figure.render_ascii());
+        blob.push('\n');
+    }
+    blob
+}
+
+#[test]
+fn figure_csv_and_ascii_are_byte_stable_across_runs() {
+    for id in [FigureId::Fig04, FigureId::Fig11] {
+        let first = render_all(id);
+        let second = render_all(id);
+        assert!(!first.is_empty(), "{id:?} rendered nothing");
+        assert_eq!(
+            first, second,
+            "{id:?} output differs between identical runs"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Loom model of the replicated sweep's lock-free point-claim protocol.
+//!
+//! `sweep::run_indexed` distributes jobs to workers with an `AtomicUsize`
+//! cursor (`fetch_add` hands out indices) and publishes each result through
+//! a per-slot cell that must be written exactly once. This model replays
+//! that protocol — scaled down to 2 workers x 3 jobs so the schedule space
+//! stays exhaustible — and asserts, across **every** interleaving, the
+//! properties the report-merge path depends on:
+//!
+//! * every job is claimed by exactly one worker (no lost or double claims);
+//! * every slot is written exactly once (the `OnceLock::set` contract);
+//! * both workers observe a cursor past the end before exiting (no worker
+//!   leaves while work remains).
+//!
+//! Run with the conventional loom switch (the stand-in checker explores
+//! sequentially consistent interleavings; see `crates/loom`):
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p strip-experiments --test loom_sweep --release
+//! ```
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+
+/// Slot sentinel: not yet written.
+const EMPTY: usize = 0;
+
+const JOBS: usize = 3;
+const WORKERS: usize = 2;
+
+#[test]
+fn point_claim_is_exactly_once_under_all_interleavings() {
+    loom::model(|| {
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let slots: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..JOBS).map(|_| AtomicUsize::new(EMPTY)).collect());
+
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let cursor = Arc::clone(&cursor);
+                let slots = Arc::clone(&slots);
+                loom::thread::spawn(move || {
+                    loop {
+                        // Claim: the only point two workers can contend.
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= JOBS {
+                            break;
+                        }
+                        // Publish: mirrors OnceLock::set, which the runner
+                        // asserts succeeds (a second write means the claim
+                        // protocol double-assigned the index).
+                        let prev = slots[i].swap(w + 1, Ordering::SeqCst);
+                        assert_eq!(
+                            prev, EMPTY,
+                            "slot {i} written twice (claimed by two workers)"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join().expect("worker completes");
+        }
+
+        // Merge-side view: after all workers join, every slot holds
+        // exactly one worker's result and the cursor proves both workers
+        // saw the end of the job list.
+        for (i, slot) in slots.iter().enumerate() {
+            let v = slot.load(Ordering::SeqCst);
+            assert!(
+                (1..=WORKERS).contains(&v),
+                "slot {i} unwritten after join (lost claim)"
+            );
+        }
+        assert!(cursor.load(Ordering::SeqCst) >= JOBS + WORKERS - 1);
+    });
+}
+
+#[test]
+fn a_single_worker_drains_every_job() {
+    loom::model(|| {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<AtomicUsize> = (0..JOBS).map(|_| AtomicUsize::new(EMPTY)).collect();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= JOBS {
+                break;
+            }
+            assert_eq!(slots[i].swap(1, Ordering::SeqCst), EMPTY);
+        }
+        assert!(slots.iter().all(|s| s.load(Ordering::SeqCst) == 1));
+    });
+}

@@ -1,0 +1,309 @@
+//! `strip-lint` — the workspace's determinism & soundness static-analysis
+//! pass.
+//!
+//! The reproduction's headline guarantees (bit-identical golden traces,
+//! checkpoint fingerprints, disturbance substreams that leave baselines
+//! untouched) all rest on determinism, and determinism erodes one
+//! convenient `HashMap` at a time. This crate walks every non-vendored
+//! workspace crate with a purpose-built lexer (the offline build has no
+//! `syn`; see [`lex`]) and enforces six rules:
+//!
+//! | code | name                    | scope                                       |
+//! |------|-------------------------|---------------------------------------------|
+//! | D1   | wall-clock              | sim-time crates: no `Instant`/`SystemTime`  |
+//! | D2   | nondeterministic-order  | sim/report paths: no `HashMap`/`HashSet`    |
+//! | D3   | ambient-entropy         | everywhere but `simkit::rng`                |
+//! | D4   | undocumented-unsafe     | everywhere: `unsafe` needs `// SAFETY:`     |
+//! | D5   | panicking-io            | checkpoint/trace I/O: no unwrap/expect/`[]` |
+//! | D6   | raw-f64-sum             | stats-adjacent files: use Welford helpers   |
+//!
+//! Violations are silenced in place with
+//! `// lint: allow(<rule>, reason=...)` (same or next line) or
+//! `// lint: allow-file(<rule>, reason=...)`; the reason is mandatory.
+//! See DESIGN.md §11 for the full rationale.
+
+pub mod lex;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use rules::{analyze_source, RuleId, Violation};
+
+/// Directories under `crates/` that are vendored stand-ins for registry
+/// crates (the build environment is offline). They are third-party idiom,
+/// not sim code, and are never scanned.
+pub const VENDORED: [&str; 5] = ["serde", "serde_derive", "proptest", "criterion", "loom"];
+
+/// Crates whose `src/` must not read wall-clock time (D1): everything that
+/// executes inside or reports on simulated time.
+const D1_CRATES: [&str; 5] = ["simkit", "rtdb", "core", "workload", "obs"];
+
+/// Crates whose `src/` is a deterministic sim/report path (D2): the D1 set
+/// plus the experiment driver and the root facade.
+const D2_CRATES: [&str; 6] = ["simkit", "rtdb", "core", "workload", "obs", "experiments"];
+
+/// The one module allowed to touch entropy plumbing (D3 exemption).
+const D3_EXEMPT: [&str; 1] = ["crates/simkit/src/rng.rs"];
+
+/// Checkpoint/trace I/O modules (D5): these run unattended inside long
+/// sweeps and must degrade via `Result`, not panics.
+const D5_FILES: [&str; 2] = [
+    "crates/experiments/src/runner.rs",
+    "crates/experiments/src/tracing.rs",
+];
+
+/// Stats-adjacent files (D6): the Welford helpers live in
+/// `simkit::stats`; aggregation here must use them, not raw f64 sums.
+const D6_FILES: [&str; 3] = [
+    "crates/simkit/src/stats.rs",
+    "crates/core/src/report.rs",
+    "crates/experiments/src/figures.rs",
+];
+
+/// Which rules apply to the file at workspace-relative `rel` (unix
+/// separators). Returns an empty set for out-of-scope files.
+#[must_use]
+pub fn rules_for(rel: &str) -> Vec<RuleId> {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next());
+    let in_src = match crate_name {
+        Some(c) => rel.starts_with(&format!("crates/{c}/src/")),
+        None => rel.starts_with("src/"),
+    };
+    if !in_src {
+        return Vec::new();
+    }
+    let mut rules = Vec::new();
+    if crate_name.is_some_and(|c| D1_CRATES.contains(&c)) {
+        rules.push(RuleId::WallClock);
+    }
+    if crate_name.is_none_or(|c| D2_CRATES.contains(&c)) {
+        rules.push(RuleId::NondeterministicOrder);
+    }
+    if !D3_EXEMPT.contains(&rel) {
+        rules.push(RuleId::AmbientEntropy);
+    }
+    rules.push(RuleId::UndocumentedUnsafe);
+    if D5_FILES.contains(&rel) {
+        rules.push(RuleId::PanickingIo);
+    }
+    if D6_FILES.contains(&rel) {
+        rules.push(RuleId::RawF64Sum);
+    }
+    rules
+}
+
+/// Collects every `.rs` file the lint scans: `src/` of the root package
+/// and of each non-vendored crate under `crates/`. Paths come back sorted
+/// so reports and JSON are themselves deterministic.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walking.
+pub fn scan_targets(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !dir.is_dir() || VENDORED.contains(&name) {
+                continue;
+            }
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative unix-separator form of `path`.
+#[must_use]
+pub fn relative_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans the workspace at `root`, applying each file's rule set (optionally
+/// intersected with `only`). Violations come back sorted by (file, line,
+/// col).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable file or directory).
+pub fn scan_workspace(root: &Path, only: Option<&[RuleId]>) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for path in scan_targets(root)? {
+        let rel = relative_label(root, &path);
+        let mut rules = rules_for(&rel);
+        if let Some(filter) = only {
+            rules.retain(|r| filter.contains(r));
+        }
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        all.extend(analyze_source(&rel, &src, &rules));
+    }
+    all.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(all)
+}
+
+/// Renders one violation in rustc's `error:` style.
+#[must_use]
+pub fn render_text(v: &Violation) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "error[{}/{}]: {}",
+        v.rule.code(),
+        v.rule.name(),
+        v.message
+    );
+    let _ = writeln!(s, "  --> {}:{}:{}", v.file, v.line, v.col);
+    if !v.snippet.is_empty() {
+        let _ = writeln!(s, "   | {}", v.snippet);
+    }
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report (hand-rolled: the vendored
+/// serde stand-in has no serializer, and the schema is four fields).
+#[must_use]
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut s = String::from("{\n  \"tool\": \"strip-lint\",\n  \"version\": 1,\n");
+    let _ = writeln!(s, "  \"violation_count\": {},", violations.len());
+    s.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"rule\": \"{}\", \"code\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            v.rule.name(),
+            v.rule.code(),
+            json_escape(&v.file),
+            v.line,
+            v.col,
+            json_escape(&v.message),
+            json_escape(&v.snippet),
+        );
+    }
+    if violations.is_empty() {
+        s.push_str("]\n}\n");
+    } else {
+        s.push_str("\n  ]\n}\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_tables() {
+        let r = rules_for("crates/simkit/src/event.rs");
+        assert!(r.contains(&RuleId::WallClock));
+        assert!(r.contains(&RuleId::NondeterministicOrder));
+        assert!(r.contains(&RuleId::UndocumentedUnsafe));
+        assert!(!r.contains(&RuleId::PanickingIo));
+
+        let r = rules_for("crates/simkit/src/rng.rs");
+        assert!(
+            !r.contains(&RuleId::AmbientEntropy),
+            "rng.rs is the entropy boundary"
+        );
+
+        let r = rules_for("crates/experiments/src/runner.rs");
+        assert!(r.contains(&RuleId::PanickingIo));
+        assert!(
+            !r.contains(&RuleId::WallClock),
+            "experiments may time real sweeps"
+        );
+
+        let r = rules_for("crates/simkit/src/stats.rs");
+        assert!(r.contains(&RuleId::RawF64Sum));
+
+        let r = rules_for("src/lib.rs");
+        assert!(r.contains(&RuleId::NondeterministicOrder));
+
+        assert!(rules_for("crates/experiments/tests/golden.rs").is_empty());
+        assert!(rules_for("crates/lint/src/lib.rs").contains(&RuleId::UndocumentedUnsafe));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let v = Violation {
+            rule: RuleId::NondeterministicOrder,
+            file: "a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "say \"hi\"".into(),
+            snippet: "let m = HashMap::new();".into(),
+        };
+        let j = render_json(std::slice::from_ref(&v));
+        assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\"rule\": \"nondeterministic-order\""));
+        assert!(j.contains("\\\"hi\\\""));
+        assert!(render_json(&[]).contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn text_report_is_rustc_style() {
+        let v = Violation {
+            rule: RuleId::WallClock,
+            file: "crates/simkit/src/clock.rs".into(),
+            line: 10,
+            col: 5,
+            message: "wall clock".into(),
+            snippet: "Instant::now()".into(),
+        };
+        let t = render_text(&v);
+        assert!(t.starts_with("error[D1/wall-clock]"));
+        assert!(t.contains("--> crates/simkit/src/clock.rs:10:5"));
+    }
+}

@@ -1,0 +1,147 @@
+//! `strip-lint` CLI: scans the workspace, prints rustc-style diagnostics,
+//! optionally writes the JSON report, and exits nonzero on violations.
+//!
+//! ```text
+//! cargo run -p strip-lint                       # scan the workspace
+//! cargo run -p strip-lint -- --json lint.json   # also write the report
+//! cargo run -p strip-lint -- --rules D2,D4      # subset of rules
+//! cargo run -p strip-lint -- --list-rules       # print the rule table
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use strip_lint::{render_json, render_text, scan_workspace, RuleId};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    rules: Option<Vec<RuleId>>,
+    files: Vec<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: strip-lint [--root DIR] [--json PATH] [--rules D1,D2,...] [--file PATH]... \
+     [--quiet] [--list-rules]\n\
+     \n\
+     Scans the workspace's non-vendored crates for determinism & soundness\n\
+     violations (rules D1-D6). With --file, lints just the named file(s) with\n\
+     every rule (or the --rules subset) regardless of the per-crate tables.\n\
+     Exits 0 when clean, 1 on violations, 2 on error."
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace that contains this crate, so
+    // `cargo run -p strip-lint` works from any subdirectory.
+    let mut args = Args {
+        root: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        json: None,
+        rules: None,
+        files: Vec::new(),
+        quiet: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--rules" => {
+                let spec = it.next().ok_or("--rules needs a comma-separated list")?;
+                let mut rules = Vec::new();
+                for part in spec.split(',') {
+                    rules
+                        .push(RuleId::parse(part).ok_or_else(|| format!("unknown rule '{part}'"))?);
+                }
+                args.rules = Some(rules);
+            }
+            "--file" => {
+                args.files
+                    .push(PathBuf::from(it.next().ok_or("--file needs a path")?));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("strip-lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RuleId::ALL {
+            println!("{:>3}  {:<24} {}", rule.code(), rule.name(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let violations = if args.files.is_empty() {
+        match scan_workspace(&args.root, args.rules.as_deref()) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("strip-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let rules: Vec<RuleId> = args.rules.clone().unwrap_or_else(|| RuleId::ALL.to_vec());
+        let mut all = Vec::new();
+        for path in &args.files {
+            match std::fs::read_to_string(path) {
+                Ok(src) => all.extend(strip_lint::analyze_source(
+                    &path.display().to_string(),
+                    &src,
+                    &rules,
+                )),
+                Err(e) => {
+                    eprintln!("strip-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        all
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, render_json(&violations)) {
+            eprintln!("strip-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for v in &violations {
+            print!("{}", render_text(v));
+        }
+    }
+    if violations.is_empty() {
+        if !args.quiet {
+            println!("strip-lint: workspace clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("strip-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: must trigger D1 (wall-clock) exactly once.
+// Not compiled; read as data by the self-tests.
+
+fn elapsed_wall() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}

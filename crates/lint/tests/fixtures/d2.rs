@@ -1,0 +1,10 @@
+// Fixture: must trigger D2 (nondeterministic-order) exactly once.
+// Not compiled; read as data by the self-tests.
+
+fn tally(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for x in xs {
+        seen.insert(*x);
+    }
+    seen.len()
+}

@@ -1,0 +1,7 @@
+// Fixture: must trigger D3 (ambient-entropy) exactly once.
+// Not compiled; read as data by the self-tests.
+
+fn roll(rng_mod: &Dice) -> u64 {
+    let mut rng = rng_mod.thread_rng();
+    rng.next_u64()
+}

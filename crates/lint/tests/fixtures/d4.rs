@@ -1,0 +1,6 @@
+// Fixture: must trigger D4 (undocumented-unsafe) exactly once.
+// Not compiled; read as data by the self-tests.
+
+fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

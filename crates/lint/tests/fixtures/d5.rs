@@ -1,0 +1,6 @@
+// Fixture: must trigger D5 (panicking-io) exactly once.
+// Not compiled; read as data by the self-tests.
+
+fn read_header(line: Option<&str>) -> &str {
+    line.unwrap()
+}

@@ -1,0 +1,7 @@
+// Fixture: must trigger D6 (raw-f64-sum) exactly once.
+// Not compiled; read as data by the self-tests.
+
+fn mean(xs: &Samples) -> f64 {
+    let total: f64 = xs.iter().sum();
+    total / xs.len() as f64
+}

@@ -1,0 +1,88 @@
+//! Self-tests over the rule fixtures: each `dN.rs` must trigger its rule
+//! exactly once (and nothing else), `clean.rs` must pass every rule, and
+//! the CLI binary must exit nonzero on each violating fixture.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use strip_lint::{analyze_source, RuleId};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    (path, src)
+}
+
+const CASES: [(&str, RuleId); 6] = [
+    ("d1.rs", RuleId::WallClock),
+    ("d2.rs", RuleId::NondeterministicOrder),
+    ("d3.rs", RuleId::AmbientEntropy),
+    ("d4.rs", RuleId::UndocumentedUnsafe),
+    ("d5.rs", RuleId::PanickingIo),
+    ("d6.rs", RuleId::RawF64Sum),
+];
+
+#[test]
+fn each_fixture_triggers_its_rule_exactly_once() {
+    for (name, rule) in CASES {
+        let (_, src) = fixture(name);
+        let violations = analyze_source(name, &src, &RuleId::ALL);
+        assert_eq!(
+            violations.len(),
+            1,
+            "{name}: expected exactly one violation, got {violations:?}"
+        );
+        assert_eq!(violations[0].rule, rule, "{name}: wrong rule fired");
+        assert!(violations[0].line > 0 && violations[0].col > 0);
+    }
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let (_, src) = fixture("clean.rs");
+    let violations = analyze_source("clean.rs", &src, &RuleId::ALL);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_rule_fixture_and_zero_on_clean() {
+    for (name, _) in CASES {
+        let (path, _) = fixture(name);
+        let status = Command::new(env!("CARGO_BIN_EXE_strip-lint"))
+            .args(["--quiet", "--file"])
+            .arg(&path)
+            .status()
+            .expect("spawn strip-lint");
+        assert_eq!(status.code(), Some(1), "{name}: expected exit 1");
+    }
+    let (clean, _) = fixture("clean.rs");
+    let status = Command::new(env!("CARGO_BIN_EXE_strip-lint"))
+        .args(["--quiet", "--file"])
+        .arg(&clean)
+        .status()
+        .expect("spawn strip-lint");
+    assert_eq!(status.code(), Some(0), "clean.rs: expected exit 0");
+}
+
+#[test]
+fn cli_writes_json_report() {
+    let out = std::env::temp_dir().join(format!("strip-lint-{}.json", std::process::id()));
+    let (path, _) = fixture("d2.rs");
+    let status = Command::new(env!("CARGO_BIN_EXE_strip-lint"))
+        .args(["--quiet", "--file"])
+        .arg(&path)
+        .arg("--json")
+        .arg(&out)
+        .status()
+        .expect("spawn strip-lint");
+    assert_eq!(status.code(), Some(1));
+    let json = std::fs::read_to_string(&out).expect("json report written");
+    assert!(json.contains("\"violation_count\": 1"), "{json}");
+    assert!(
+        json.contains("\"rule\": \"nondeterministic-order\""),
+        "{json}"
+    );
+    let _ = std::fs::remove_file(&out);
+}

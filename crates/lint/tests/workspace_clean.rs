@@ -1,0 +1,19 @@
+//! Dogfood: the workspace itself must be lint-clean. This is the same
+//! check CI's `static-analysis` job runs via `cargo run -p strip-lint`;
+//! having it as a test means plain `cargo test` catches regressions too.
+
+use std::path::PathBuf;
+
+use strip_lint::{render_text, scan_workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let violations = scan_workspace(&root, None).expect("workspace scan");
+    let rendered: String = violations.iter().map(render_text).collect();
+    assert!(
+        violations.is_empty(),
+        "strip-lint found {} violation(s):\n{rendered}",
+        violations.len()
+    );
+}

@@ -1,0 +1,555 @@
+//! Offline stand-in for [loom](https://docs.rs/loom), the permutation
+//! model checker. The build environment has no registry access, so — like
+//! the `serde`/`proptest` stand-ins — this crate provides exactly the API
+//! subset the workspace uses, backed by a real (if small) implementation:
+//!
+//! * [`model`] runs a closure under a cooperative scheduler that owns
+//!   every inter-thread interleaving decision, then **exhaustively
+//!   enumerates** those decisions depth-first, re-running the closure once
+//!   per distinct schedule until the space is exhausted;
+//! * [`thread::spawn`] creates checked threads whose execution is
+//!   sequentialized by the scheduler (exactly one runs at a time);
+//! * [`sync::atomic`] wraps the std atomics so that every operation is a
+//!   preemption point (a scheduling decision happens *before* each
+//!   atomic access).
+//!
+//! A panic (e.g. a failed `assert!`) anywhere in any schedule fails the
+//! model with the offending schedule printed, so the failure reproduces.
+//!
+//! **Scope** (documented honestly): the checker explores interleavings
+//! under *sequential consistency* only — it does not model weak-memory
+//! reorderings, so `Ordering` arguments are accepted but not
+//! distinguished. For the workspace's replicated-sweep protocol (whose
+//! atomics are `SeqCst`/`Relaxed` counters with no release/acquire
+//! publication edges) SC interleavings are exactly the failure modes worth
+//! checking: lost claims, double claims, and missed joins. Schedules are
+//! capped at `LOOM_MAX_ITERATIONS` (default 50 000); hitting the cap fails
+//! the run rather than passing vacuously.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel payload used to unwind threads when a run is torn down early
+/// (deadlock or cross-thread panic); never reported as a model failure.
+struct AbortToken;
+
+const NO_THREAD: usize = usize::MAX;
+
+#[derive(Default)]
+struct SchedState {
+    /// Thread currently allowed to run (`NO_THREAD` when the run ended).
+    current: usize,
+    /// Per-thread: has its closure finished (or been aborted)?
+    finished: Vec<bool>,
+    /// Per-thread: the thread id it is blocked joining on, if any.
+    blocked_on: Vec<Option<usize>>,
+    /// Interleaving choices replayed (prefix) and extended (suffix) this run.
+    schedule: Vec<usize>,
+    /// Number of runnable options observed at each decision this run.
+    counts: Vec<usize>,
+    /// Next decision index.
+    depth: usize,
+    /// First panic message observed this run.
+    panic: Option<String>,
+    /// Tear the run down: every waiting thread unwinds with [`AbortToken`].
+    abort: bool,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    /// OS-level handles of every checked thread spawned this run.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CONTEXT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn context() -> (Arc<Scheduler>, usize) {
+    CONTEXT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+impl Scheduler {
+    fn new() -> Arc<Self> {
+        Arc::new(Scheduler {
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Threads runnable right now: not finished and not blocked.
+    fn runnable(state: &SchedState) -> Vec<usize> {
+        (0..state.finished.len())
+            .filter(|&t| !state.finished[t] && state.blocked_on[t].is_none())
+            .collect()
+    }
+
+    /// One scheduling decision: picks the next thread to run from the
+    /// runnable set, replaying the schedule prefix and extending it with
+    /// first-choice (index 0) beyond it. Returns the chosen thread, or
+    /// `None` when the run is over (or deadlocked, which aborts).
+    fn decide(&self, state: &mut SchedState) -> Option<usize> {
+        let options = Self::runnable(state);
+        if options.is_empty() {
+            if state.finished.iter().all(|&f| f) {
+                state.current = NO_THREAD;
+            } else {
+                state.panic.get_or_insert_with(|| {
+                    "deadlock: every unfinished thread is blocked on join".to_string()
+                });
+                state.abort = true;
+                state.current = NO_THREAD;
+            }
+            self.cv.notify_all();
+            return None;
+        }
+        let choice = if state.depth < state.schedule.len() {
+            state.schedule[state.depth]
+        } else {
+            state.schedule.push(0);
+            0
+        };
+        if state.counts.len() <= state.depth {
+            state.counts.resize(state.depth + 1, 0);
+        }
+        state.counts[state.depth] = options.len();
+        state.depth += 1;
+        // A stale choice can only mean the closure is nondeterministic
+        // outside the scheduler's control; clamp rather than crash.
+        let chosen = options[choice.min(options.len() - 1)];
+        state.current = chosen;
+        self.cv.notify_all();
+        Some(chosen)
+    }
+
+    /// Blocks the calling OS thread until the scheduler hands `me` the
+    /// token (or the run aborts, which unwinds with [`AbortToken`]).
+    fn wait_for_turn(&self, me: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.current != me {
+            if state.abort {
+                drop(state);
+                std::panic::panic_any(AbortToken);
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Preemption point before every atomic operation: the scheduler may
+    /// hand the token to any runnable thread (including `me`).
+    fn preempt(&self, me: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.abort {
+            drop(state);
+            std::panic::panic_any(AbortToken);
+        }
+        match self.decide(&mut state) {
+            Some(next) if next == me => {}
+            _ => {
+                drop(state);
+                self.wait_for_turn(me);
+            }
+        }
+    }
+
+    /// Registers a new checked thread; it starts runnable but does not
+    /// execute until the scheduler picks it.
+    fn register(&self) -> usize {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.finished.push(false);
+        state.blocked_on.push(None);
+        state.finished.len() - 1
+    }
+
+    /// Marks `me` finished, unblocks its joiners, and hands the token on.
+    fn finish(&self, me: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.finished[me] = true;
+        for b in &mut state.blocked_on {
+            if *b == Some(me) {
+                *b = None;
+            }
+        }
+        if state.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.decide(&mut state);
+    }
+
+    /// Blocks `me` until `target` finishes (scheduling others meanwhile).
+    fn join_on(&self, target: usize, me: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.abort {
+            drop(state);
+            std::panic::panic_any(AbortToken);
+        }
+        if state.finished[target] {
+            return;
+        }
+        state.blocked_on[me] = Some(target);
+        match self.decide(&mut state) {
+            Some(next) if next == me => unreachable!("blocked thread cannot be chosen"),
+            _ => {
+                drop(state);
+                self.wait_for_turn(me);
+            }
+        }
+    }
+
+    fn record_panic(&self, msg: String) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.panic.get_or_insert(msg);
+        // First panic tears the whole run down: remaining threads unwind.
+        state.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Checked-threading API mirroring `loom::thread`.
+pub mod thread {
+    use super::{catch_unwind, context, panic_message, AbortToken, Arc, AssertUnwindSafe, CONTEXT};
+
+    /// Handle to a checked thread, mirroring `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        id: usize,
+        rx: std::sync::mpsc::Receiver<std::thread::Result<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result, like
+        /// `std::thread::JoinHandle::join`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            let (sched, me) = context();
+            sched.join_on(self.id, me);
+            match self.rx.try_recv() {
+                Ok(result) => result,
+                // The thread was aborted mid-run; unwind this one too.
+                Err(_) => std::panic::panic_any(AbortToken),
+            }
+        }
+    }
+
+    /// Spawns a checked thread; its execution interleaves with every other
+    /// checked thread only at atomic operations and yields.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, _me) = context();
+        let id = sched.register();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sched2 = Arc::clone(&sched);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || {
+                CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched2), id)));
+                sched2.wait_for_turn(id);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                if let Err(payload) = &result {
+                    if payload.is::<AbortToken>() {
+                        sched2.finish(id);
+                        return;
+                    }
+                    sched2.record_panic(panic_message(payload.as_ref()));
+                }
+                let _ = tx.send(result);
+                sched2.finish(id);
+            })
+            .expect("spawn loom thread");
+        sched
+            .os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(os);
+        JoinHandle { id, rx }
+    }
+
+    /// A pure preemption point (mirrors `loom::thread::yield_now`).
+    pub fn yield_now() {
+        let (sched, me) = context();
+        sched.preempt(me);
+    }
+}
+
+/// Checked synchronization primitives mirroring `loom::sync`.
+pub mod sync {
+    /// Checked atomics: every operation is a preemption point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::context;
+
+        macro_rules! checked_atomic {
+            ($name:ident, $inner:ty, $prim:ty) => {
+                /// Checked atomic: each operation lets the scheduler
+                /// preempt first, so every interleaving around it is
+                /// explored. Orderings are accepted but the model explores
+                /// sequentially consistent interleavings only.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $inner,
+                }
+
+                impl $name {
+                    /// Creates a new checked atomic.
+                    #[must_use]
+                    pub fn new(v: $prim) -> Self {
+                        Self {
+                            inner: <$inner>::new(v),
+                        }
+                    }
+
+                    /// Checked `load`.
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        let (sched, me) = context();
+                        sched.preempt(me);
+                        self.inner.load(order)
+                    }
+
+                    /// Checked `store`.
+                    pub fn store(&self, v: $prim, order: Ordering) {
+                        let (sched, me) = context();
+                        sched.preempt(me);
+                        self.inner.store(v, order);
+                    }
+
+                    /// Checked `swap`.
+                    pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                        let (sched, me) = context();
+                        sched.preempt(me);
+                        self.inner.swap(v, order)
+                    }
+
+                    /// Checked `compare_exchange`.
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the actual value when it differs from
+                    /// `currentv`.
+                    pub fn compare_exchange(
+                        &self,
+                        currentv: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        let (sched, me) = context();
+                        sched.preempt(me);
+                        self.inner.compare_exchange(currentv, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        checked_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        checked_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        checked_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Checked `fetch_add`.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                let (sched, me) = context();
+                sched.preempt(me);
+                self.inner.fetch_add(v, order)
+            }
+        }
+
+        impl AtomicU64 {
+            /// Checked `fetch_add`.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                let (sched, me) = context();
+                sched.preempt(me);
+                self.inner.fetch_add(v, order)
+            }
+        }
+    }
+
+    pub use std::sync::Arc;
+}
+
+/// Maximum number of schedules explored before the model fails loudly
+/// (overridable via the `LOOM_MAX_ITERATIONS` environment variable).
+fn max_iterations() -> usize {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000)
+}
+
+/// Runs `f` once per distinct interleaving of its checked threads,
+/// depth-first, until the schedule space is exhausted.
+///
+/// # Panics
+///
+/// Panics when any schedule panics (printing that schedule), when the
+/// model deadlocks, or when the space exceeds the iteration cap.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut schedule: Vec<usize> = Vec::new();
+    let cap = max_iterations();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= cap,
+            "loom: schedule space not exhausted after {cap} iterations \
+             (raise LOOM_MAX_ITERATIONS or shrink the model)"
+        );
+        let (next_schedule, counts, failure) = run_once(Arc::clone(&f), schedule);
+        if let Some(msg) = failure {
+            panic!(
+                "loom: model failed after {iterations} iteration(s)\n\
+                 failing schedule: {next_schedule:?}\n{msg}"
+            );
+        }
+        // Odometer step: advance the deepest decision with room left.
+        schedule = next_schedule;
+        let Some(last) = (0..schedule.len())
+            .rev()
+            .find(|&i| schedule[i] + 1 < counts[i])
+        else {
+            break;
+        };
+        schedule[last] += 1;
+        schedule.truncate(last + 1);
+    }
+}
+
+/// Executes one schedule. Returns the (possibly extended) schedule, the
+/// per-decision option counts, and a failure message if the run panicked
+/// or deadlocked.
+fn run_once<F>(f: Arc<F>, schedule: Vec<usize>) -> (Vec<usize>, Vec<usize>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Scheduler::new();
+    {
+        let mut state = sched.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.schedule = schedule;
+        state.current = 0;
+    }
+    let root = sched.register();
+    debug_assert_eq!(root, 0);
+    let sched2 = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name("loom-0".to_string())
+        .spawn(move || {
+            CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched2), root)));
+            let result = catch_unwind(AssertUnwindSafe(|| f()));
+            if let Err(payload) = &result {
+                if !payload.is::<AbortToken>() {
+                    sched2.record_panic(panic_message(payload.as_ref()));
+                }
+            }
+            sched2.finish(root);
+        })
+        .expect("spawn loom root thread");
+
+    // Join every checked OS thread; spawn can add handles while we drain.
+    let mut pending: VecDeque<std::thread::JoinHandle<()>> = VecDeque::new();
+    pending.push_back(os);
+    loop {
+        while let Some(h) = pending.pop_front() {
+            let _ = h.join();
+        }
+        let mut more = sched.os_handles.lock().unwrap_or_else(|e| e.into_inner());
+        if more.is_empty() {
+            break;
+        }
+        pending.extend(more.drain(..));
+    }
+
+    let mut state = sched.state.lock().unwrap_or_else(|e| e.into_inner());
+    let schedule = std::mem::take(&mut state.schedule);
+    let counts = std::mem::take(&mut state.counts);
+    let failure = state.panic.take();
+    drop(state);
+    (schedule, counts, failure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        // Two threads each incrementing once: every interleaving must end
+        // at 2 (fetch_add is atomic), and more than one schedule exists.
+        static RUNS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let h = super::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().expect("child joins");
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+        assert!(
+            RUNS.load(std::sync::atomic::Ordering::Relaxed) > 1,
+            "expected multiple interleavings"
+        );
+    }
+
+    #[test]
+    fn catches_a_racy_read_modify_write() {
+        // Non-atomic increment (load; store) must lose an update in SOME
+        // interleaving; the model is required to find it.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let c2 = Arc::clone(&c);
+                let h = super::thread::spawn(move || {
+                    let v = c2.load(Ordering::SeqCst);
+                    c2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = c.load(Ordering::SeqCst);
+                c.store(v + 1, Ordering::SeqCst);
+                h.join().expect("child joins");
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(found.is_err(), "model must find the lost update");
+    }
+
+    #[test]
+    fn exhausts_a_single_thread_model_in_one_run() {
+        static RUNS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let c = AtomicUsize::new(1);
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        });
+        assert_eq!(RUNS.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

@@ -13,7 +13,7 @@
 //! lost per overflow event, so `dropped` counts overflow events regardless
 //! of policy.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use strip_sim::time::SimTime;
 
@@ -127,7 +127,7 @@ impl OsQueue {
     /// back-to-front tracking the newest generation seen per object, and
     /// report the frontmost superseded entry.
     fn superseded_index(&self, arrival: &Update) -> Option<usize> {
-        let mut newest: HashMap<ViewObjectId, SimTime> = HashMap::new();
+        let mut newest: BTreeMap<ViewObjectId, SimTime> = BTreeMap::new();
         newest.insert(arrival.object, arrival.generation_ts);
         let mut best: Option<usize> = None;
         for (i, u) in self.buf.iter().enumerate().rev() {

@@ -10,7 +10,7 @@
 //! competes with installs and transactions exactly like the rest of the
 //! update stream.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -51,14 +51,14 @@ pub struct Rule {
 #[derive(Debug, Clone, Default)]
 pub struct RuleSet {
     rules: Vec<Rule>,
-    by_source: HashMap<ViewObjectId, Vec<u32>>,
+    by_source: BTreeMap<ViewObjectId, Vec<u32>>,
 }
 
 impl RuleSet {
     /// Builds a rule set and its source index.
     #[must_use]
     pub fn new(rules: Vec<Rule>) -> Self {
-        let mut by_source: HashMap<ViewObjectId, Vec<u32>> = HashMap::new();
+        let mut by_source: BTreeMap<ViewObjectId, Vec<u32>> = BTreeMap::new();
         for rule in &rules {
             for &src in &rule.sources {
                 by_source.entry(src).or_default().push(rule.id);

@@ -109,6 +109,15 @@ impl<'a, T> Hole<'a, T> {
         unsafe { self.data.get_unchecked(index) }
     }
 
+    /// Reads the element at `index` through the normal bounds check. The
+    /// cold partial-last-level scan is not performance-critical, so it
+    /// pays the checked access and carries no safety contract.
+    #[inline]
+    fn get_checked(&self, index: usize) -> &T {
+        debug_assert!(index != self.pos);
+        &self.data[index]
+    }
+
     /// Moves the element at `index` into the hole; the hole moves to `index`.
     ///
     /// # Safety
@@ -282,11 +291,13 @@ impl<E> EventQueue<E> {
                     if first >= n {
                         break;
                     }
-                    // Partial last level: linear scan over the 1–3 leaves.
+                    // Partial last level: linear scan over the 1–3 leaves,
+                    // through the safe checked accessor — this runs at most
+                    // once per pop, so the bounds checks are free noise.
                     let mut best = first;
-                    let mut best_key = hole.get(first).key;
+                    let mut best_key = hole.get_checked(first).key;
                     for c in first + 1..n {
-                        let key = hole.get(c).key;
+                        let key = hole.get_checked(c).key;
                         if key < best_key {
                             best = c;
                             best_key = key;

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod dist;
 pub mod engine;

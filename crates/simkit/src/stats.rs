@@ -236,6 +236,7 @@ impl Histogram {
     /// Total number of observations (including under/overflow).
     #[must_use]
     pub fn count(&self) -> u64 {
+        // lint: allow(raw-f64-sum, reason=lossless u64 bucket-count sum, not a float reduction)
         self.underflow + self.overflow + self.buckets.iter().sum::<u64>()
     }
 

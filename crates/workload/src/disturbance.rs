@@ -24,7 +24,7 @@
 //! re-randomises another.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use strip_core::config::DisturbanceSpec;
 use strip_core::sources::{StreamDisturbanceStats, UpdateSource, UpdateSpec};
@@ -55,7 +55,7 @@ pub struct DisturbedUpdates<S> {
     exhausted: bool,
     /// Release order over buffered arrivals: (release time, key).
     pending: BinaryHeap<Reverse<(SimTime, u64)>>,
-    held: HashMap<u64, Held>,
+    held: BTreeMap<u64, Held>,
     next_key: u64,
     /// Members of the burst group being assembled.
     group: Vec<(UpdateSpec, u64)>,
@@ -83,7 +83,7 @@ impl<S: UpdateSource> DisturbedUpdates<S> {
             peeked: None,
             exhausted: false,
             pending: BinaryHeap::new(),
-            held: HashMap::new(),
+            held: BTreeMap::new(),
             next_key: 0,
             group: Vec::new(),
             group_max: SimTime::ZERO,

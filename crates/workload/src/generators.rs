@@ -278,7 +278,7 @@ pub struct PeriodicUpdates {
     emissions: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, ViewObjectId)>>,
     /// Min-heap of materialised arrivals waiting to be released in order.
     pending: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
-    pending_specs: std::collections::HashMap<u64, UpdateSpec>,
+    pending_specs: std::collections::BTreeMap<u64, UpdateSpec>,
     periods: [f64; 2],
     jitter_frac: f64,
     age: Exponential,
@@ -327,7 +327,7 @@ impl PeriodicUpdates {
             horizon: SimTime::from_secs(cfg.duration),
             emissions,
             pending: std::collections::BinaryHeap::new(),
-            pending_specs: std::collections::HashMap::new(),
+            pending_specs: std::collections::BTreeMap::new(),
             periods,
             jitter_frac,
             age: Exponential::new(cfg.mean_update_age),
