@@ -1,0 +1,92 @@
+//! Bench-gated perf harness for the live runtime: measures wire-ingest
+//! throughput (updates/sec through a real TCP socket into a running
+//! `stripd` executor) and the pure policy-decision hot path, and writes a
+//! machine-readable JSON artefact (default `BENCH_5.json`; first CLI
+//! argument overrides the path).
+//!
+//! Knobs: `PERF_LIVE_UPDATES` scales the ingest stream length (default
+//! 50 000 updates); `PERF_POLICY_ITERS` the decision loop (default
+//! 2 000 000 iterations × 4 policies × 6 calls).
+
+use std::fmt::Write as _;
+
+use strip_bench::live_perf::{live_ingest, policy_decision, RateResult};
+
+fn rate_json(out: &mut String, indent: &str, r: &RateResult) {
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"name\": \"{}\",\n\
+         {indent}  \"ops\": {},\n\
+         {indent}  \"secs\": {:.6},\n\
+         {indent}  \"ops_per_sec\": {:.1},\n\
+         {indent}  \"ns_per_op\": {:.2}\n\
+         {indent}}}",
+        r.name,
+        r.ops,
+        r.secs,
+        r.ops_per_sec(),
+        r.ns_per_op(),
+    );
+}
+
+fn env_scale(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
+    // Fail before the measurements, not after them, if the artefact path
+    // is unwritable.
+    if let Err(e) = std::fs::File::create(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    let n_updates = env_scale("PERF_LIVE_UPDATES", 50_000);
+    let iters = env_scale("PERF_POLICY_ITERS", 2_000_000);
+    let reps = 3;
+
+    eprintln!("# live TCP ingest ({n_updates} updates, best of {reps}) …");
+    let ingest = live_ingest(n_updates, reps);
+    eprintln!(
+        "{:<22} {:>12.0} updates/s   {:>8.2} ns/update",
+        ingest.name,
+        ingest.ops_per_sec(),
+        ingest.ns_per_op(),
+    );
+
+    eprintln!("# policy decision hot path ({iters} iters × 4 policies, best of {reps}) …");
+    let decisions = policy_decision(iters, reps);
+    eprintln!(
+        "{:<22} {:>12.0} decisions/s {:>8.2} ns/decision",
+        decisions.name,
+        decisions.ops_per_sec(),
+        decisions.ns_per_op(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": 5,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"live runtime: TCP ingest throughput into a running executor \
+         (1000x-scaled cost model so the runtime's own overhead is priced, StatsRequest as \
+         completion barrier) and the shared pure policy-decision hot path\","
+    );
+    json.push_str("  \"live_ingest\":\n");
+    rate_json(&mut json, "  ", &ingest);
+    json.push_str(",\n  \"policy_decision\":\n");
+    rate_json(&mut json, "  ", &decisions);
+    json.push_str("\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod live_perf;
 pub mod perf;
 
 use strip_experiments::{Campaign, FigureId, RunSettings};

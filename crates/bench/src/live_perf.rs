@@ -1,0 +1,182 @@
+//! Perf measurements of the live runtime (`strip-live`): wire-ingest
+//! throughput through a real TCP socket and the pure policy-decision hot
+//! path shared by simulator and server.
+//!
+//! Unlike [`crate::perf`]'s paired old-vs-new measurements these are
+//! single-sided rates — there is no seed implementation of the live
+//! runtime to compare against. They feed `BENCH_5.json` via the
+//! `live_perf_harness` binary.
+
+use std::hint::black_box;
+use std::io::{BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+use strip_core::config::{Policy, SimConfig};
+use strip_core::policy::{self, WorkState};
+use strip_db::cost::CostModel;
+use strip_db::object::Importance;
+use strip_db::staleness::StalenessSpec;
+use strip_live::executor::LiveConfig;
+use strip_live::protocol::{read_msg, write_msg, Msg, WireUpdate};
+use strip_live::server::serve;
+use strip_sim::time::SimTime;
+
+/// One single-sided rate measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RateResult {
+    /// What was measured (e.g. `"live/tcp_ingest"`).
+    pub name: &'static str,
+    /// Operations performed.
+    pub ops: u64,
+    /// Best-of-reps wall seconds.
+    pub secs: f64,
+}
+
+impl RateResult {
+    /// Throughput, operations per second.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs
+    }
+
+    /// Mean cost of one operation, nanoseconds.
+    #[must_use]
+    pub fn ns_per_op(&self) -> f64 {
+        self.secs * 1e9 / self.ops as f64
+    }
+}
+
+/// Updates/sec through the full live path: TCP socket → frame decode →
+/// ingest channel → policy routing → install. The cost model is scaled
+/// down 1000× so the measurement prices the runtime's own overhead (wire,
+/// queues, scheduling) rather than the paper's modelled CPU burn, and the
+/// final `StatsRequest` acts as a barrier — its reply is only sent once
+/// every update queued before it has been processed.
+///
+/// # Panics
+///
+/// Panics on socket errors or when the server miscounts the stream.
+#[must_use]
+pub fn live_ingest(n_updates: usize, reps: usize) -> RateResult {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let sim = SimConfig::builder()
+            .n_low(256)
+            .n_high(256)
+            .lambda_u(0.0)
+            .lambda_t(0.0)
+            .duration(3_600.0)
+            .warmup(0.0)
+            .policy(Policy::UpdatesFirst)
+            .costs(CostModel {
+                ips: 50.0e9,
+                ..CostModel::default()
+            })
+            .build()
+            .expect("valid live-ingest config");
+        let cfg = LiveConfig::new(sim).expect("valid live config");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let handle = serve(&cfg, listener).expect("serve");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone stream"));
+
+        let started = Instant::now();
+        for i in 0..n_updates {
+            let msg = Msg::Update(WireUpdate {
+                class: (i % 2) as u8,
+                index: (i % 256) as u32,
+                generation_micros: i as i64 + 1,
+                payload: i as f64,
+                attr_mask: u64::MAX,
+            });
+            write_msg(&mut writer, &msg).expect("send update");
+        }
+        write_msg(&mut writer, &Msg::StatsRequest).expect("send barrier");
+        writer.flush().expect("flush frames");
+        let mut reader = stream;
+        let stats = match read_msg(&mut reader).expect("barrier reply") {
+            Some(Msg::StatsResponse(s)) => s,
+            other => panic!("expected StatsResponse, got {other:?}"),
+        };
+        best = best.min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            stats.ingested, n_updates as u64,
+            "server must have ingested the whole stream"
+        );
+        drop(reader);
+        let report = handle.shutdown().expect("clean shutdown");
+        assert_eq!(report.updates.terminal_total(), report.updates.arrived);
+    }
+    RateResult {
+        name: "live/tcp_ingest",
+        ops: n_updates as u64,
+        secs: best,
+    }
+}
+
+/// Decisions/sec through the clock-agnostic `strip_core::policy` hot path
+/// — the exact functions both the simulator's dispatch loop and the live
+/// executor call on every scheduling point.
+#[must_use]
+pub fn policy_decision(iters: usize, reps: usize) -> RateResult {
+    let staleness = StalenessSpec::MaxAge { alpha: 7.0 };
+    let mut best = f64::INFINITY;
+    let mut ops = 0u64;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        ops = 0;
+        for i in 0..iters {
+            let state = WorkState {
+                os_empty: i % 3 == 0,
+                uq_empty: i % 2 == 0,
+                busy_update: (i % 7) as f64,
+                busy_txn: (i % 11) as f64,
+            };
+            let class = if i % 2 == 0 {
+                Importance::Low
+            } else {
+                Importance::High
+            };
+            for &p in &Policy::PAPER_SET {
+                black_box(policy::updates_have_priority(p, &state));
+                black_box(policy::preempts_on_arrival(p));
+                black_box(policy::arrival_route(p, class));
+                black_box(policy::read_check(p, staleness, i % 5 == 0));
+                black_box(policy::od_refresh(
+                    p,
+                    (i % 4 != 0).then(|| SimTime::from_secs(i as f64)),
+                    SimTime::from_secs((i / 2) as f64),
+                ));
+                black_box(policy::system_stale(staleness, i % 5 == 0, i % 4 != 0));
+                ops += 6;
+            }
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    RateResult {
+        name: "live/policy_decision",
+        ops,
+        secs: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_ingest_measures_a_real_stream() {
+        let r = live_ingest(200, 1);
+        assert_eq!(r.ops, 200);
+        assert!(r.secs > 0.0 && r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn policy_decision_counts_every_call() {
+        let r = policy_decision(1_000, 1);
+        assert_eq!(r.ops, 1_000 * 4 * 6);
+        assert!(r.ns_per_op() > 0.0);
+    }
+}

@@ -41,8 +41,9 @@ use strip_sim::engine::{Ctx, Engine, Simulation};
 use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
 
-use crate::config::{ConfigError, Policy, QueuePolicy, SimConfig};
+use crate::config::{ConfigError, SimConfig};
 use crate::metrics::{AbortReason, Activity, InstallPath, Metrics, QueueDrops};
+use crate::policy::{self, ArrivalRoute, ReadCheck, ServiceOrder, WorkState};
 use crate::ready::ReadyQueue;
 use crate::report::{ResilienceStats, RunReport};
 use crate::sources::{TxnSource, UpdateSource};
@@ -762,25 +763,21 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
 
     // ---- dispatch -----------------------------------------------------------
 
-    /// True when the policy serves update work before transactions at this
-    /// dispatch point.
-    fn updates_have_priority(&self) -> bool {
-        match self.cfg.policy {
-            Policy::UpdatesFirst => !self.os_queue.is_empty(),
-            // SU must receive arrivals immediately to classify them; its
-            // update queue (low importance) only drains when idle.
-            Policy::SplitUpdates => !self.os_queue.is_empty(),
-            Policy::FixedFraction { fraction } => {
-                if self.os_queue.is_empty() && self.uq.is_empty() {
-                    return false;
-                }
-                let busy_u = self.metrics.busy_update_so_far();
-                let busy_t = self.metrics.busy_txn_so_far();
-                let total = busy_u + busy_t;
-                total <= 0.0 || busy_u / total < fraction
-            }
-            Policy::TransactionsFirst | Policy::OnDemand => false,
+    /// The observable scheduler state the pure policy functions decide on.
+    fn work_state(&self) -> WorkState {
+        WorkState {
+            os_empty: self.os_queue.is_empty(),
+            uq_empty: self.uq.is_empty(),
+            busy_update: self.metrics.busy_update_so_far(),
+            busy_txn: self.metrics.busy_txn_so_far(),
         }
+    }
+
+    /// True when the policy serves update work before transactions at this
+    /// dispatch point (delegates to the clock-agnostic [`policy`] module
+    /// shared with the `strip-live` executor).
+    fn updates_have_priority(&self) -> bool {
+        policy::updates_have_priority(self.cfg.policy, &self.work_state())
     }
 
     /// The main scheduling point. Chooses the next CPU slice.
@@ -936,7 +933,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         receive_only: bool,
         ctx: &mut Ctx<'_, Event>,
     ) -> UpdateStep {
-        if self.cfg.policy == Policy::UpdatesFirst {
+        if !self.cfg.policy.uses_update_queue() {
             if receive_only {
                 return UpdateStep::Nothing;
             }
@@ -952,7 +949,9 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         }
         // Queue-using policies: first receive arrivals from the OS queue.
         if let Some(u) = self.os_queue.receive() {
-            if self.cfg.policy == Policy::SplitUpdates && u.object.class == Importance::High {
+            if policy::arrival_route(self.cfg.policy, u.object.class)
+                == ArrivalRoute::InstallImmediate
+            {
                 self.start_install_slice(now, u, InstallPath::Immediate, 0.0, ctx);
                 return UpdateStep::StartedSlice;
             }
@@ -979,10 +978,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         }
         // Then drain the update queue (background installs); with the split
         // extension the high-importance partition is served first.
-        let popped = match self.cfg.queue_policy {
-            QueuePolicy::Fifo => self.uq.pop(false),
-            QueuePolicy::Lifo => self.uq.pop(true),
-            QueuePolicy::HotFirst => {
+        let popped = match policy::service_order(self.cfg.queue_policy) {
+            ServiceOrder::OldestFirst => self.uq.pop(false),
+            ServiceOrder::NewestFirst => self.uq.pop(true),
+            ServiceOrder::HottestFirst => {
                 let counts = &self.read_counts;
                 self.uq
                     .pop_hottest(|id| counts[id.class.index()][id.index as usize])
@@ -1049,8 +1048,8 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             ctx.schedule_at(next.arrival, Event::UpdateArrival(next));
         }
         // Policy reaction.
-        match self.cfg.policy {
-            Policy::UpdatesFirst | Policy::SplitUpdates => match self.cpu {
+        if policy::preempts_on_arrival(self.cfg.policy) {
+            match self.cpu {
                 CpuState::Idle => self.dispatch(now, ctx),
                 CpuState::Busy {
                     job: Job::Txn(_), ..
@@ -1068,12 +1067,9 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                     // Installs are not preempted (§4.2); the arrival waits
                     // in the OS queue until the current slice completes.
                 }
-            },
-            _ => {
-                if matches!(self.cpu, CpuState::Idle) {
-                    self.dispatch(now, ctx);
-                }
             }
+        } else if matches!(self.cpu, CpuState::Idle) {
+            self.dispatch(now, ctx);
         }
     }
 
@@ -1271,30 +1267,16 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 return;
             }
         }
-        match self.cfg.staleness {
-            StalenessSpec::MaxAge { alpha } => {
-                let sys_stale = self.store.is_stale_ma(obj, now, alpha);
-                if sys_stale && self.cfg.policy == Policy::OnDemand {
-                    // OD searches the queue for an applicable update; the
-                    // scan costs x_scan per queued update (or one probe with
-                    // the hash-index extension).
-                    self.begin_scan(obj, now, ctx);
-                } else {
-                    self.finalize_read(obj, now, ctx);
-                }
-            }
-            StalenessSpec::UnappliedUpdate | StalenessSpec::Either { .. } => {
-                if self.cfg.policy.uses_update_queue() {
-                    // The unapplied-update *check itself* is a queue scan,
-                    // paid by every queue-using algorithm on every view
-                    // read (§6.3). Under the combined criterion the MA
-                    // timestamp compare rides along for free.
-                    self.begin_scan(obj, now, ctx);
-                } else {
-                    // UF has no update queue to search.
-                    self.finalize_read(obj, now, ctx);
-                }
-            }
+        // The scan decision (OD's on-demand search under MA; the UU check
+        // itself under the queue criteria) lives in the shared policy
+        // module; only the MA timestamp compare is evaluated here.
+        let ma_stale = match self.cfg.staleness {
+            StalenessSpec::MaxAge { alpha } => self.store.is_stale_ma(obj, now, alpha),
+            StalenessSpec::UnappliedUpdate | StalenessSpec::Either { .. } => false,
+        };
+        match policy::read_check(self.cfg.policy, self.cfg.staleness, ma_stale) {
+            ReadCheck::Scan => self.begin_scan(obj, now, ctx),
+            ReadCheck::Direct => self.finalize_read(obj, now, ctx),
         }
     }
 
@@ -1329,19 +1311,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         if let Some(rt) = self.running.as_mut() {
             rt.slice = TxnSliceKind::Segment;
         }
-        let refresh = if self.cfg.policy == Policy::OnDemand {
-            // Under the combined criterion, a queued newer update is worth
-            // applying whether the object is MA-stale or UU-stale.
-            let installed_gen = self.store.view(obj).generation_ts;
-            let applicable = self
-                .uq
-                .newest_for(obj)
-                .is_some_and(|u| u.generation_ts > installed_gen);
-            if applicable {
-                self.uq.take_newest_for(obj)
-            } else {
-                None
-            }
+        let queued_newest = self.uq.newest_for(obj).map(|u| u.generation_ts);
+        let installed_gen = self.store.view(obj).generation_ts;
+        let refresh = if policy::od_refresh(self.cfg.policy, queued_newest, installed_gen) {
+            self.uq.take_newest_for(obj)
         } else {
             None
         };
@@ -1383,28 +1356,26 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
 
     /// Concludes a view read: record staleness, possibly abort, continue.
     fn finalize_read(&mut self, obj: ViewObjectId, now: SimTime, ctx: &mut Ctx<'_, Event>) {
-        let metric_stale = match self.cfg.staleness {
-            StalenessSpec::MaxAge { alpha } => self.store.is_stale_ma(obj, now, alpha),
-            StalenessSpec::UnappliedUpdate | StalenessSpec::Either { .. } => {
-                self.tracker.is_stale(obj)
+        // Both verdicts delegate to the shared policy module: the *metric*
+        // verdict (what the evaluation reports) and the *system* verdict
+        // (what abort-on-stale can actually detect — an update dropped
+        // before being applied is invisible to the running system).
+        let ma_stale = match self.cfg.staleness {
+            StalenessSpec::MaxAge { alpha } | StalenessSpec::Either { alpha } => {
+                self.store.is_stale_ma(obj, now, alpha)
             }
+            StalenessSpec::UnappliedUpdate => false,
         };
-        // What the *system* can detect (drives abort-on-stale): MA uses the
-        // timestamp; UU sees only the queue — an update that was dropped
-        // before being applied is invisible to the running system. Either
-        // combines both detectors.
-        let queue_visible_uu = || {
-            self.uq
-                .newest_for(obj)
-                .is_some_and(|u| u.generation_ts > self.store.view(obj).generation_ts)
+        let metric_stale = if policy::metric_uses_tracker(self.cfg.staleness) {
+            self.tracker.is_stale(obj)
+        } else {
+            ma_stale
         };
-        let sys_stale = match self.cfg.staleness {
-            StalenessSpec::MaxAge { .. } => metric_stale,
-            StalenessSpec::UnappliedUpdate => queue_visible_uu(),
-            StalenessSpec::Either { alpha } => {
-                self.store.is_stale_ma(obj, now, alpha) || queue_visible_uu()
-            }
-        };
+        let queue_has_newer = self
+            .uq
+            .newest_for(obj)
+            .is_some_and(|u| u.generation_ts > self.store.view(obj).generation_ts);
+        let sys_stale = policy::system_stale(self.cfg.staleness, ma_stale, queue_has_newer);
         let rt = Self::running(&mut self.running, now, "view-read finalisation");
         let arrival = rt.txn.spec().arrival;
         if metric_stale {

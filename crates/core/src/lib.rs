@@ -31,6 +31,7 @@
 pub mod config;
 pub mod controller;
 pub mod metrics;
+pub mod policy;
 pub mod ready;
 pub mod report;
 pub mod sources;

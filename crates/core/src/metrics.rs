@@ -40,7 +40,10 @@ pub enum AbortReason {
 }
 
 /// Accumulates all run metrics.
-#[derive(Debug)]
+///
+/// `Clone` lets a long-lived collector (the live executor) produce interim
+/// [`RunReport`]s via `clone().finalize(..)` without ending the run.
+#[derive(Debug, Clone)]
 pub struct Metrics {
     warmup_end: SimTime,
     txns: TxnCounts,

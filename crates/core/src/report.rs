@@ -344,7 +344,176 @@ pub struct RunReport {
     pub timeline: Vec<TimelineWindow>,
 }
 
+/// JSON string literal with the escapes required by RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest round-tripping decimal for a finite float; non-finite values
+/// (which no healthy run produces) become `null` so the output stays JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
 impl RunReport {
+    /// Renders the full report as a JSON object.
+    ///
+    /// The workspace's `serde` is an offline no-op stand-in, so this is the
+    /// one hand-rolled serialisation every consumer shares: `repro report
+    /// --json`, the `strip-loadgen` client, and the `stripd` server's
+    /// `ReportJson` frame. Raw counters mirror the struct fields;
+    /// paper-derived metrics (§3.5) ride along under `"derived"`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let class = |c: &ClassCounts| {
+            format!(
+                "{{\"arrived\":{},\"committed\":{},\"committed_fresh\":{}}}",
+                c.arrived, c.committed, c.committed_fresh
+            )
+        };
+        let timeline = self
+            .timeline
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"t_start\":{},\"finished\":{},\"committed\":{},\"committed_fresh\":{}}}",
+                    json_f64(w.t_start),
+                    w.finished,
+                    w.committed,
+                    w.committed_fresh
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        out.push_str(&format!("\"policy\":{},", json_str(&self.policy)));
+        out.push_str(&format!("\"seed\":{},", self.seed));
+        out.push_str(&format!("\"duration\":{},", json_f64(self.duration)));
+        out.push_str(&format!("\"warmup\":{},", json_f64(self.warmup)));
+        let t = &self.txns;
+        out.push_str(&format!(
+            "\"txns\":{{\"arrived\":{},\"committed\":{},\"committed_fresh\":{},\
+             \"missed_deadline\":{},\"aborted_infeasible\":{},\"aborted_stale\":{},\
+             \"in_flight_at_end\":{},\"value_committed\":{},\"stale_reads\":{},\
+             \"view_reads\":{},\"response_mean\":{},\"response_sd\":{},\
+             \"by_class\":[{},{}]}},",
+            t.arrived,
+            t.committed,
+            t.committed_fresh,
+            t.missed_deadline,
+            t.aborted_infeasible,
+            t.aborted_stale,
+            t.in_flight_at_end,
+            json_f64(t.value_committed),
+            t.stale_reads,
+            t.view_reads,
+            json_f64(t.response_mean),
+            json_f64(t.response_sd),
+            class(&t.by_class[0]),
+            class(&t.by_class[1]),
+        ));
+        let u = &self.updates;
+        out.push_str(&format!(
+            "\"updates\":{{\"arrived\":{},\"os_dropped\":{},\"enqueued\":{},\
+             \"installed_background\":{},\"installed_immediate\":{},\
+             \"installed_on_demand\":{},\"superseded_skips\":{},\
+             \"expired_dropped\":{},\"overflow_dropped\":{},\"dedup_dropped\":{},\
+             \"admission_shed\":{},\"max_uq_len\":{},\"max_os_len\":{},\
+             \"left_in_os\":{},\"left_in_update_queue\":{},\"in_flight_at_end\":{}}},",
+            u.arrived,
+            u.os_dropped,
+            u.enqueued,
+            u.installed_background,
+            u.installed_immediate,
+            u.installed_on_demand,
+            u.superseded_skips,
+            u.expired_dropped,
+            u.overflow_dropped,
+            u.dedup_dropped,
+            u.admission_shed,
+            u.max_uq_len,
+            u.max_os_len,
+            u.left_in_os,
+            u.left_in_update_queue,
+            u.in_flight_at_end,
+        ));
+        let c = &self.cpu;
+        out.push_str(&format!(
+            "\"cpu\":{{\"busy_txn\":{},\"busy_update\":{},\"measured_secs\":{},\
+             \"events_processed\":{},\"io_misses_reads\":{},\"io_misses_installs\":{}}},",
+            json_f64(c.busy_txn),
+            json_f64(c.busy_update),
+            json_f64(c.measured_secs),
+            c.events_processed,
+            c.io_misses_reads,
+            c.io_misses_installs,
+        ));
+        out.push_str(&format!("\"fold_low\":{},", json_f64(self.fold_low)));
+        out.push_str(&format!("\"fold_high\":{},", json_f64(self.fold_high)));
+        let h = &self.history;
+        out.push_str(&format!(
+            "\"history\":{{\"historical_reads\":{},\"misses\":{},\"appends\":{},\
+             \"pruned\":{},\"entries_at_end\":{}}},",
+            h.historical_reads, h.misses, h.appends, h.pruned, h.entries_at_end,
+        ));
+        let g = &self.triggers;
+        out.push_str(&format!(
+            "\"triggers\":{{\"fired\":{},\"coalesced\":{},\"dropped\":{},\
+             \"executed\":{},\"pending_at_end\":{},\"lag_mean\":{},\"max_pending\":{}}},",
+            g.fired,
+            g.coalesced,
+            g.dropped,
+            g.executed,
+            g.pending_at_end,
+            json_f64(g.lag_mean),
+            g.max_pending,
+        ));
+        let r = &self.resilience;
+        out.push_str(&format!(
+            "\"resilience\":{{\"duplicated\":{},\"reordered\":{},\"outage_held\":{},\
+             \"burst_grouped\":{},\"admission_shed\":{},\"recovery_secs\":{}}},",
+            r.duplicated,
+            r.reordered,
+            r.outage_held,
+            r.burst_grouped,
+            r.admission_shed,
+            r.recovery_secs.map_or("null".to_string(), json_f64),
+        ));
+        out.push_str(&format!("\"timeline\":[{timeline}],"));
+        out.push_str(&format!(
+            "\"derived\":{{\"p_md\":{},\"p_success\":{},\"p_suc_nontardy\":{},\
+             \"stale_read_fraction\":{},\"av\":{},\"rho_t\":{},\"rho_u\":{},\
+             \"installed_total\":{},\"terminal_total\":{}}}",
+            json_f64(t.p_md()),
+            json_f64(t.p_success()),
+            json_f64(t.p_suc_nontardy()),
+            json_f64(t.stale_read_fraction()),
+            json_f64(self.av()),
+            json_f64(c.rho_t()),
+            json_f64(c.rho_u()),
+            u.installed_total(),
+            u.terminal_total(),
+        ));
+        out.push('}');
+        out
+    }
+
     /// `AV` — average value per second returned by on-time commits.
     #[must_use]
     pub fn av(&self) -> f64 {
@@ -730,6 +899,52 @@ mod tests {
         let c = RunReport::default();
         let none = RunReport::average(&[c.clone(), c]);
         assert_eq!(none.resilience.recovery_secs, None);
+    }
+
+    #[test]
+    fn to_json_is_balanced_and_carries_derived_metrics() {
+        let mut r = RunReport {
+            policy: "OD".into(),
+            seed: 42,
+            duration: 5.0,
+            ..RunReport::default()
+        };
+        // Fractions chosen to be exactly representable: pMD = 1 - 6/8 = 0.25.
+        r.txns.arrived = 10;
+        r.txns.committed = 6;
+        r.txns.committed_fresh = 4;
+        r.txns.missed_deadline = 2;
+        r.cpu.measured_secs = 5.0;
+        r.txns.value_committed = 20.0;
+        let json = r.to_json();
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced JSON: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"policy\":\"OD\"",
+            "\"seed\":42",
+            "\"arrived\":10",
+            "\"p_md\":0.25",
+            "\"av\":4.0",
+            "\"recovery_secs\":null",
+            "\"terminal_total\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\u0009here\"");
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 
     #[test]

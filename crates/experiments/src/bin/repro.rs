@@ -16,15 +16,20 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use strip_core::config::{Policy, SimConfig};
+use strip_core::controller::run_simulation;
 use strip_experiments::{
     export_figure, render_parameter_tables, run_trace, Campaign, FigureId, RunSettings,
     SweepRunner, TraceTarget,
 };
 use strip_obs::TraceConfig;
+use strip_workload::generators::{PoissonTxns, PoissonUpdates};
 
 struct Args {
     figures: Vec<FigureId>,
     trace_targets: Vec<TraceTarget>,
+    report_policies: Vec<Policy>,
+    json: bool,
     settings: RunSettings,
     out_dir: Option<PathBuf>,
     checkpoint_dir: Option<PathBuf>,
@@ -36,6 +41,7 @@ fn usage() -> String {
     format!(
         "usage: repro <all|{}> [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] [--checkpoint DIR]\n\
          \u{20}      repro trace <figure|program_trading|plant_control|telecom>... [--seconds N] [--seed N] [--trace DIR]\n\
+         \u{20}      repro report <uf|tf|su|od>... [--json] [--seconds N] [--seed N]\n\
          \n\
          Regenerates the evaluation of 'Applying Update Streams in a Soft\n\
          Real-Time Database System' (SIGMOD 1995). Default run length is the\n\
@@ -52,15 +58,33 @@ fn usage() -> String {
          recorder attached, and writes <label>.trace.json (Perfetto /\n\
          chrome://tracing), <label>.records.csv and <label>.gauges.csv under\n\
          --trace DIR (default target/trace). Tracing is observation-only:\n\
-         the traced run is bit-identical to the untraced one.",
+         the traced run is bit-identical to the untraced one.\n\
+         \n\
+         'repro report' runs one paper-baseline simulation per named policy\n\
+         and prints its full RunReport; with --json the output is the same\n\
+         JSON document a live `stripd` server prints at shutdown and serves\n\
+         to `strip-loadgen`, so simulated and live runs diff directly.",
         names.join("|")
     )
+}
+
+fn parse_policy(name: &str) -> Result<Policy, String> {
+    match name {
+        "uf" => Ok(Policy::UpdatesFirst),
+        "tf" => Ok(Policy::TransactionsFirst),
+        "su" => Ok(Policy::SplitUpdates),
+        "od" => Ok(Policy::OnDemand),
+        other => Err(format!("unknown policy `{other}` (uf|tf|su|od)")),
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut figures = Vec::new();
     let mut trace_targets = Vec::new();
+    let mut report_policies = Vec::new();
     let mut trace_mode = false;
+    let mut report_mode = false;
+    let mut json = false;
     let mut settings = RunSettings::default();
     let mut out_dir = None;
     let mut checkpoint_dir = None;
@@ -68,8 +92,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "trace" if !trace_mode && figures.is_empty() => trace_mode = true,
-            "all" if !trace_mode => figures.extend(FigureId::ALL),
+            "trace" if !trace_mode && !report_mode && figures.is_empty() => trace_mode = true,
+            "report" if !trace_mode && !report_mode && figures.is_empty() => report_mode = true,
+            "--json" if report_mode => json = true,
+            "all" if !trace_mode && !report_mode => figures.extend(FigureId::ALL),
             "--seconds" => {
                 let v = it.next().ok_or("--seconds needs a value")?;
                 settings.duration = v
@@ -109,6 +135,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 trace_dir = PathBuf::from(v);
             }
             "--help" | "-h" => return Err(usage()),
+            name if report_mode => report_policies.push(parse_policy(name)?),
             name if trace_mode => trace_targets.push(
                 name.parse::<TraceTarget>()
                     .map_err(|e| format!("{e}\n\n{}", usage()))?,
@@ -125,19 +152,70 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             usage()
         ));
     }
-    if figures.is_empty() && trace_targets.is_empty() {
+    if report_mode && report_policies.is_empty() {
+        return Err(format!(
+            "repro report needs at least one policy\n\n{}",
+            usage()
+        ));
+    }
+    if figures.is_empty() && trace_targets.is_empty() && report_policies.is_empty() {
         return Err(usage());
     }
     figures.dedup();
     trace_targets.dedup();
+    report_policies.dedup();
     Ok(Args {
         figures,
         trace_targets,
+        report_policies,
+        json,
         settings,
         out_dir,
         checkpoint_dir,
         trace_dir,
     })
+}
+
+/// Runs the `repro report` subcommand: one paper-baseline run per policy,
+/// printed as the shared `RunReport` JSON (with `--json`) or a one-line
+/// summary. The JSON comes from `RunReport::to_json`, the same code path
+/// the live server uses for its shutdown report and the loadgen's
+/// `ReportRequest` reply.
+fn run_report_mode(args: &Args) -> ExitCode {
+    for policy in &args.report_policies {
+        let cfg = match SimConfig::builder()
+            .policy(*policy)
+            .duration(args.settings.duration)
+            .seed(args.settings.seed)
+            .build()
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("# config for {}: {e}", policy.label());
+                return ExitCode::FAILURE;
+            }
+        };
+        let updates = PoissonUpdates::from_config(&cfg);
+        let txns = PoissonTxns::from_config(&cfg);
+        let report = run_simulation(&cfg, updates, txns);
+        if args.json {
+            println!("{}", report.to_json());
+        } else {
+            println!(
+                "# {} seed={} {}s: committed={}/{} p_md={:.4} fold_l={:.4} fold_h={:.4} av={:.2}",
+                report.policy,
+                report.seed,
+                report.duration,
+                report.txns.committed,
+                report.txns.arrived,
+                report.txns.p_md(),
+                report.fold_low,
+                report.fold_high,
+                report.av(),
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs the `repro trace` subcommand: one traced run per (target, policy),
@@ -183,6 +261,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if !args.report_policies.is_empty() {
+        return run_report_mode(&args);
+    }
     if !args.trace_targets.is_empty() {
         return run_trace_mode(&args);
     }
@@ -303,6 +384,28 @@ mod tests {
         assert!(parse(&["trace", "fig99"]).is_err());
         // Outside trace mode the scenario names are not figures.
         assert!(parse(&["telecom"]).is_err());
+    }
+
+    #[test]
+    fn report_mode_parses_policies_and_json_flag() {
+        let a = parse(&["report", "tf", "od", "--json", "--seconds", "5"]).unwrap();
+        assert_eq!(
+            a.report_policies,
+            vec![Policy::TransactionsFirst, Policy::OnDemand]
+        );
+        assert!(a.json);
+        assert!(a.figures.is_empty());
+        assert_eq!(a.settings.duration, 5.0);
+
+        let a = parse(&["report", "uf"]).unwrap();
+        assert!(!a.json);
+
+        // Bare `report`, unknown policies, and figure names are rejected.
+        assert!(parse(&["report"]).is_err());
+        assert!(parse(&["report", "fx"]).is_err());
+        assert!(parse(&["report", "fig06"]).is_err());
+        // --json outside report mode is rejected.
+        assert!(parse(&["fig06", "--json"]).is_err());
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //!
 //! | code | name                    | scope                                       |
 //! |------|-------------------------|---------------------------------------------|
-//! | D1   | wall-clock              | sim-time crates: no `Instant`/`SystemTime`  |
-//! | D2   | nondeterministic-order  | sim/report paths: no `HashMap`/`HashSet`    |
+//! | D1   | wall-clock              | sim-time + live crates: no `Instant`/`SystemTime` outside annotated clock/transport modules |
+//! | D2   | nondeterministic-order  | sim/report/live paths: no `HashMap`/`HashSet` |
 //! | D3   | ambient-entropy         | everywhere but `simkit::rng`                |
 //! | D4   | undocumented-unsafe     | everywhere: `unsafe` needs `// SAFETY:`     |
 //! | D5   | panicking-io            | checkpoint/trace I/O: no unwrap/expect/`[]` |
@@ -36,12 +36,22 @@ pub use rules::{analyze_source, RuleId, Violation};
 pub const VENDORED: [&str; 5] = ["serde", "serde_derive", "proptest", "criterion", "loom"];
 
 /// Crates whose `src/` must not read wall-clock time (D1): everything that
-/// executes inside or reports on simulated time.
-const D1_CRATES: [&str; 5] = ["simkit", "rtdb", "core", "workload", "obs"];
+/// executes inside or reports on simulated time, plus the live runtime —
+/// there, wall-clock reads are confined to the explicitly annotated clock
+/// and transport modules so the policy/metrics logic stays clock-agnostic.
+const D1_CRATES: [&str; 6] = ["simkit", "rtdb", "core", "workload", "obs", "live"];
 
 /// Crates whose `src/` is a deterministic sim/report path (D2): the D1 set
 /// plus the experiment driver and the root facade.
-const D2_CRATES: [&str; 6] = ["simkit", "rtdb", "core", "workload", "obs", "experiments"];
+const D2_CRATES: [&str; 7] = [
+    "simkit",
+    "rtdb",
+    "core",
+    "workload",
+    "obs",
+    "live",
+    "experiments",
+];
 
 /// The one module allowed to touch entropy plumbing (D3 exemption).
 const D3_EXEMPT: [&str; 1] = ["crates/simkit/src/rng.rs"];
@@ -267,6 +277,15 @@ mod tests {
 
         let r = rules_for("crates/simkit/src/stats.rs");
         assert!(r.contains(&RuleId::RawF64Sum));
+
+        // The live runtime is in D1/D2 scope: its clock and transport
+        // modules carry explicit allow-file annotations, everything else
+        // must stay clock-agnostic.
+        let r = rules_for("crates/live/src/clock.rs");
+        assert!(r.contains(&RuleId::WallClock));
+        assert!(r.contains(&RuleId::NondeterministicOrder));
+        let r = rules_for("crates/live/src/executor.rs");
+        assert!(r.contains(&RuleId::WallClock));
 
         let r = rules_for("src/lib.rs");
         assert!(r.contains(&RuleId::NondeterministicOrder));

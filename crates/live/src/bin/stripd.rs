@@ -1,0 +1,166 @@
+//! `stripd` — the live STRIP server.
+//!
+//! Binds a TCP listener, runs the wall-clock executor with the requested
+//! policy, and serves the binary protocol plus `/metrics` scrapes until a
+//! client sends a shutdown frame; the final `RunReport` is printed to
+//! stdout as JSON.
+//!
+//! ```text
+//! stripd [--addr 127.0.0.1:7411] [--policy uf|tf|su|od] \
+//!        [--staleness ma|uu|either] [--max-age SECS] [--quantum-us US] \
+//!        [--n-low N] [--n-high N] [--warmup SECS] [--seed N]
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use strip_core::config::{Policy, SimConfig};
+use strip_db::staleness::StalenessSpec;
+use strip_live::executor::LiveConfig;
+use strip_live::server::serve;
+
+struct Args {
+    addr: String,
+    policy: Policy,
+    staleness: &'static str,
+    max_age: f64,
+    quantum_us: u64,
+    n_low: u32,
+    n_high: u32,
+    warmup: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7411".to_string(),
+        policy: Policy::TransactionsFirst,
+        staleness: "ma",
+        max_age: 7.0,
+        quantum_us: 500,
+        n_low: 500,
+        n_high: 500,
+        warmup: 0.0,
+        seed: 0x5712_1995,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--addr" => args.addr = val()?,
+            "--policy" => {
+                args.policy = match val()?.as_str() {
+                    "uf" => Policy::UpdatesFirst,
+                    "tf" => Policy::TransactionsFirst,
+                    "su" => Policy::SplitUpdates,
+                    "od" => Policy::OnDemand,
+                    other => return Err(format!("unknown policy `{other}` (uf|tf|su|od)")),
+                }
+            }
+            "--staleness" => {
+                args.staleness = match val()?.as_str() {
+                    "ma" => "ma",
+                    "uu" => "uu",
+                    "either" => "either",
+                    other => return Err(format!("unknown staleness `{other}` (ma|uu|either)")),
+                }
+            }
+            "--max-age" => args.max_age = parse_num(&val()?, &flag)?,
+            "--quantum-us" => args.quantum_us = parse_num(&val()?, &flag)?,
+            "--n-low" => args.n_low = parse_num(&val()?, &flag)?,
+            "--n-high" => args.n_high = parse_num(&val()?, &flag)?,
+            "--warmup" => args.warmup = parse_num(&val()?, &flag)?,
+            "--seed" => args.seed = parse_num(&val()?, &flag)?,
+            "--help" | "-h" => {
+                return Err("usage: stripd [--addr A] [--policy uf|tf|su|od] \
+                     [--staleness ma|uu|either] [--max-age S] [--quantum-us US] \
+                     [--n-low N] [--n-high N] [--warmup S] [--seed N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("invalid value `{s}` for {flag}"))
+}
+
+fn build_config(a: &Args) -> Result<SimConfig, String> {
+    let staleness = match a.staleness {
+        "uu" => StalenessSpec::UnappliedUpdate,
+        "either" => StalenessSpec::Either { alpha: a.max_age },
+        _ => StalenessSpec::MaxAge { alpha: a.max_age },
+    };
+    SimConfig::builder()
+        // Offered load arrives over the wire, not from generators.
+        .lambda_u(0.0)
+        .lambda_t(0.0)
+        .n_low(a.n_low)
+        .n_high(a.n_high)
+        .policy(a.policy)
+        .staleness(staleness)
+        .max_age(a.max_age)
+        .warmup(a.warmup)
+        .seed(a.seed)
+        .build()
+        .map_err(|e| format!("config: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sim = match build_config(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quantum = args.quantum_us as f64 * 1e-6;
+    let cfg = match LiveConfig::with_quantum(sim, quantum) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("live config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match serve(&cfg, listener) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "stripd listening on {} policy={} staleness={} quantum={}us",
+        handle.addr(),
+        cfg.sim.policy.label(),
+        args.staleness,
+        args.quantum_us
+    );
+    match handle.wait() {
+        Ok(report) => {
+            println!("{}", report.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `strip-live` — a wall-clock soft real-time runtime for the STRIP
+//! update-scheduling policies.
+//!
+//! The simulator (`strip-core`) answers *what the policies do* under
+//! controlled virtual time; this crate answers *whether the same code
+//! runs them for real*. It reuses the entire `strip-db` substrate — the
+//! snapshot store, the bounded OS receive queue, the generation-ordered
+//! update queue with its shedding policies, and the exact staleness
+//! tracker — and drives it from the shared, clock-agnostic
+//! [`strip_core::policy`] decision module, against the machine's
+//! monotonic clock instead of an event calendar.
+//!
+//! Pieces:
+//!
+//! * [`clock`] — the single wall-clock boundary ([`LiveClock`]); everything
+//!   above it speaks `SimTime`.
+//! * [`protocol`] — the length-prefixed binary wire format spoken over TCP
+//!   (updates, transactions, queries, stats and report requests).
+//! * [`executor`] — the single-threaded scheduling core: quantum-chunked
+//!   CPU slices, UF/SU arrival preemption, firm-deadline watchdogs, MA
+//!   expiry timers, and the same [`strip_core::report::RunReport`] at the
+//!   end.
+//! * [`server`] — the `stripd` front end: a TCP accept loop feeding the
+//!   executor's ingest channel, plus a Prometheus-style `/metrics` page
+//!   served on the same port.
+//! * [`loadgen`] — `strip-loadgen`: replays the `strip-workload` Poisson
+//!   generators against a live server at real-time rate and retrieves the
+//!   server's own report, so live runs and simulations are compared
+//!   through one code path.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod clock;
+pub mod executor;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use clock::LiveClock;
+pub use executor::{Executor, Ingest, LiveConfig, LiveConfigError};
+pub use loadgen::{replay, LoadgenSummary};
+pub use protocol::{Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate};
+pub use server::{serve, stats_from_report, ServerHandle};

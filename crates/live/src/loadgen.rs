@@ -1,0 +1,264 @@
+//! `strip-loadgen` — replays the simulator's workload against a live
+//! server.
+//!
+//! The generators are the exact Poisson processes of `strip-workload`
+//! ([`PoissonUpdates`], [`PoissonTxns`]), built from the same
+//! [`SimConfig`] the simulator uses, so a live run and a simulation of the
+//! same seed see statistically identical offered load. The two arrival
+//! streams are merged by arrival time and paced against the loadgen's own
+//! [`LiveClock`]; each spec becomes one wire frame. When the horizon is
+//! reached the loadgen asks the *server* for its stats and its JSON
+//! report — the comparison artefact is produced by the same
+//! `RunReport::to_json` path the simulator's `repro report` uses, not by
+//! client-side re-aggregation.
+//!
+//! Clock note: update generation timestamps are sampled relative to the
+//! loadgen's clock origin, which trails the server's by the connect time.
+//! Generation ages (mean `a_update`, seconds) dwarf that skew; DESIGN.md
+//! §12 discusses the approximation.
+
+use std::io::{self};
+use std::net::TcpStream;
+
+use strip_core::config::SimConfig;
+use strip_core::sources::{TxnSource, UpdateSource, UpdateSpec};
+use strip_core::txn::TxnSpec;
+use strip_workload::generators::{PoissonTxns, PoissonUpdates};
+
+use crate::clock::LiveClock;
+use crate::protocol::{read_msg, write_msg, Msg, WireStats, WireTxn, WireUpdate};
+
+/// What a replay produced: client-side send counters plus the server's
+/// own aggregate counters and full JSON report.
+#[derive(Debug, Clone)]
+pub struct LoadgenSummary {
+    /// Update frames sent.
+    pub sent_updates: u64,
+    /// Transaction frames sent.
+    pub sent_txns: u64,
+    /// Wall-clock seconds the replay took.
+    pub elapsed: f64,
+    /// The server's aggregate counters after the replay.
+    pub stats: WireStats,
+    /// The server's full `RunReport`, serialised by the server itself.
+    pub report_json: String,
+}
+
+/// One merged arrival, ordered by time.
+enum Arrival {
+    Update(UpdateSpec),
+    Txn(TxnSpec),
+}
+
+impl Arrival {
+    fn at(&self) -> f64 {
+        match self {
+            Arrival::Update(u) => u.arrival.as_secs(),
+            Arrival::Txn(t) => t.arrival.as_secs(),
+        }
+    }
+}
+
+/// Pulls the two generator streams in arrival order.
+struct Merged {
+    updates: PoissonUpdates,
+    txns: PoissonTxns,
+    next_update: Option<UpdateSpec>,
+    next_txn: Option<TxnSpec>,
+}
+
+impl Merged {
+    fn new(cfg: &SimConfig) -> Self {
+        let mut updates = PoissonUpdates::from_config(cfg);
+        let mut txns = PoissonTxns::from_config(cfg);
+        let next_update = updates.next_update();
+        let next_txn = txns.next_txn();
+        Merged {
+            updates,
+            txns,
+            next_update,
+            next_txn,
+        }
+    }
+
+    fn next(&mut self) -> Option<Arrival> {
+        match (&self.next_update, &self.next_txn) {
+            (None, None) => None,
+            (Some(_), None) => {
+                let u = self.next_update.take().expect("checked update");
+                self.next_update = self.updates.next_update();
+                Some(Arrival::Update(u))
+            }
+            (None, Some(_)) => {
+                let t = self.next_txn.take().expect("checked txn");
+                self.next_txn = self.txns.next_txn();
+                Some(Arrival::Txn(t))
+            }
+            (Some(u), Some(t)) => {
+                if u.arrival <= t.arrival {
+                    let u = self.next_update.take().expect("checked update");
+                    self.next_update = self.updates.next_update();
+                    Some(Arrival::Update(u))
+                } else {
+                    let t = self.next_txn.take().expect("checked txn");
+                    self.next_txn = self.txns.next_txn();
+                    Some(Arrival::Txn(t))
+                }
+            }
+        }
+    }
+}
+
+fn wire_update(u: &UpdateSpec) -> WireUpdate {
+    WireUpdate {
+        class: u.object.class.index() as u8,
+        index: u.object.index,
+        generation_micros: LiveClock::sim_to_micros(u.generation_ts),
+        payload: u.payload,
+        attr_mask: u.attr_mask,
+    }
+}
+
+fn wire_txn(t: &TxnSpec) -> WireTxn {
+    WireTxn {
+        id: t.id,
+        class: t.class.index() as u8,
+        value: t.value,
+        slack_micros: (t.slack * 1e6).round().max(0.0) as u64,
+        compute_micros: (t.compute_time * 1e6).round().max(0.0) as u64,
+        reads: t
+            .reads
+            .iter()
+            .map(|r| (r.class.index() as u8, r.index))
+            .collect(),
+    }
+}
+
+/// Replays `cfg`'s workload against the server at `addr` in real time,
+/// then retrieves the server's stats and JSON report over the same
+/// connection.
+///
+/// # Errors
+///
+/// Propagates connection and protocol I/O errors, and `InvalidData` when
+/// the server answers with an unexpected message type.
+pub fn replay(addr: &str, cfg: &SimConfig) -> io::Result<LoadgenSummary> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let clock = LiveClock::start();
+    let mut merged = Merged::new(cfg);
+    let mut sent_updates = 0u64;
+    let mut sent_txns = 0u64;
+    while let Some(arrival) = merged.next() {
+        pace_until(&clock, arrival.at());
+        match arrival {
+            Arrival::Update(u) => {
+                write_msg(&mut stream, &Msg::Update(wire_update(&u)))?;
+                sent_updates += 1;
+            }
+            Arrival::Txn(t) => {
+                write_msg(&mut stream, &Msg::Txn(wire_txn(&t)))?;
+                sent_txns += 1;
+            }
+        }
+    }
+    // Let the horizon pass before sampling the server.
+    pace_until(&clock, cfg.duration);
+    write_msg(&mut stream, &Msg::StatsRequest)?;
+    let stats = match read_msg(&mut stream)? {
+        Some(Msg::StatsResponse(s)) => s,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected StatsResponse, got {other:?}"),
+            ))
+        }
+    };
+    write_msg(&mut stream, &Msg::ReportRequest)?;
+    let report_json = match read_msg(&mut stream)? {
+        Some(Msg::ReportJson(j)) => j,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected ReportJson, got {other:?}"),
+            ))
+        }
+    };
+    Ok(LoadgenSummary {
+        sent_updates,
+        sent_txns,
+        elapsed: clock.now().as_secs(),
+        stats,
+        report_json,
+    })
+}
+
+/// Sleeps coarsely to within 2 ms of the target instant, then spins the
+/// rest — send jitter stays far below the executor's quantum.
+fn pace_until(clock: &LiveClock, target_secs: f64) {
+    let gap = target_secs - clock.now().as_secs();
+    if gap > 0.002 {
+        LiveClock::coarse_sleep(gap - 0.002);
+    }
+    let rest = target_secs - clock.now().as_secs();
+    if rest > 0.0 {
+        LiveClock::spin_for(rest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_stream_is_ordered_by_arrival() {
+        let cfg = SimConfig::builder()
+            .n_low(8)
+            .n_high(8)
+            .lambda_u(200.0)
+            .lambda_t(50.0)
+            .duration(0.5)
+            .warmup(0.0)
+            .build()
+            .expect("valid config");
+        let mut merged = Merged::new(&cfg);
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some(a) = merged.next() {
+            assert!(a.at() >= last, "arrivals out of order");
+            last = a.at();
+            n += 1;
+        }
+        assert!(n > 10, "expected a non-trivial merged stream, got {n}");
+    }
+
+    #[test]
+    fn wire_mappings_preserve_identity_fields() {
+        use strip_db::object::{Importance, ViewObjectId};
+        use strip_sim::time::SimTime;
+        let u = UpdateSpec {
+            arrival: SimTime::from_secs(1.0),
+            object: ViewObjectId::new(Importance::High, 7),
+            generation_ts: SimTime::from_secs(-0.25),
+            payload: 3.5,
+            attr_mask: u64::MAX,
+        };
+        let w = wire_update(&u);
+        assert_eq!((w.class, w.index), (1, 7));
+        assert_eq!(w.generation_micros, -250_000);
+        let t = TxnSpec {
+            id: 42,
+            class: Importance::Low,
+            value: 10.0,
+            arrival: SimTime::from_secs(1.0),
+            slack: 0.125,
+            compute_time: 0.050,
+            reads: vec![ViewObjectId::new(Importance::Low, 3)],
+        };
+        let wt = wire_txn(&t);
+        assert_eq!(wt.id, 42);
+        assert_eq!(wt.slack_micros, 125_000);
+        assert_eq!(wt.compute_micros, 50_000);
+        assert_eq!(wt.reads, vec![(0u8, 3u32)]);
+    }
+}

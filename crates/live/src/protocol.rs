@@ -1,0 +1,649 @@
+//! The `stripd` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `[u32 LE body length][body]`; the body is one tag byte
+//! followed by a fixed-layout little-endian payload (only the transaction
+//! frame has a variable-length tail: its read set). Floating-point values
+//! travel as IEEE-754 bit patterns (`f64::to_bits`), timestamps as signed
+//! microseconds — generation timestamps may precede the receiving server's
+//! start (the external source stamped them), so the sign matters.
+//!
+//! Client → server: [`Msg::Update`], [`Msg::Txn`], [`Msg::Query`],
+//! [`Msg::StatsRequest`], [`Msg::ReportRequest`], [`Msg::Shutdown`].
+//! Server → client: [`Msg::QueryResponse`], [`Msg::StatsResponse`],
+//! [`Msg::ReportJson`].
+//!
+//! Decoding is strict: unknown tags, short payloads, trailing bytes and
+//! oversized frames are all errors ([`ProtoError`]) — a protocol slip
+//! surfaces immediately instead of desynchronising the stream. The
+//! encode → decode identity is pinned by `tests/prop_protocol.rs`.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame body, bytes. Bounds per-connection memory and
+/// caps a transaction's read set (see [`MAX_TXN_READS`]).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Fixed-size prefix of a transaction body: tag + id + class + value +
+/// slack + compute + read count.
+const TXN_FIXED: usize = 1 + 8 + 1 + 8 + 8 + 8 + 4;
+
+/// Bytes per entry of a transaction's read set (class byte + index).
+const READ_ENTRY: usize = 5;
+
+/// Largest read set a transaction frame can carry within [`MAX_FRAME`].
+pub const MAX_TXN_READS: usize = (MAX_FRAME - TXN_FIXED) / READ_ENTRY;
+
+/// An update delivered by the external stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireUpdate {
+    /// Importance class of the target object (0 = low, 1 = high).
+    pub class: u8,
+    /// Object index within the class partition.
+    pub index: u32,
+    /// Generation timestamp at the external source, microseconds (may be
+    /// negative relative to the server's clock origin).
+    pub generation_micros: i64,
+    /// New payload value.
+    pub payload: f64,
+    /// Attribute coverage mask (`u64::MAX` = complete update).
+    pub attr_mask: u64,
+}
+
+/// A transaction submitted for execution. Its arrival time (and therefore
+/// its deadline, `arrival + exec_estimate + slack`) is stamped by the
+/// server on ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTxn {
+    /// Client-chosen transaction id (echoed in server accounting).
+    pub id: u64,
+    /// Value class (0 = low, 1 = high).
+    pub class: u8,
+    /// Value returned if the transaction commits on time.
+    pub value: f64,
+    /// Slack added to the execution estimate to form the deadline, µs.
+    pub slack_micros: u64,
+    /// Pure computation demand, µs.
+    pub compute_micros: u64,
+    /// View objects read, as `(class, index)` pairs.
+    pub reads: Vec<(u8, u32)>,
+}
+
+/// A point read of one view object's current value and freshness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireQuery {
+    /// Importance class (0 = low, 1 = high).
+    pub class: u8,
+    /// Object index within the class partition.
+    pub index: u32,
+}
+
+/// Answer to a [`WireQuery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireQueryResponse {
+    /// Currently installed payload.
+    pub payload: f64,
+    /// Generation timestamp of the installed value, µs.
+    pub generation_micros: i64,
+    /// Age of the installed value at answer time, µs.
+    pub age_micros: i64,
+    /// 1 when the object is stale under the server's configured criterion
+    /// (with the UU criterion: an unapplied update is known to exist).
+    pub uu_stale: u8,
+}
+
+/// Aggregate counters answered to a [`Msg::StatsRequest`]. The update
+/// counters satisfy `ingested = applied + superseded + shed + queued`
+/// (conservation; checked by the `live-smoke` CI job).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WireStats {
+    /// Updates that arrived at the server.
+    pub ingested: u64,
+    /// Updates installed into the store (any path).
+    pub applied: u64,
+    /// Updates skipped because the store already held a newer value.
+    pub superseded: u64,
+    /// Updates dropped: OS-queue overflow, UQ overflow, MA expiry, dedup,
+    /// admission shedding.
+    pub shed: u64,
+    /// Updates still queued (OS + update queue + on the CPU).
+    pub queued: u64,
+    /// Transactions that arrived.
+    pub txns_arrived: u64,
+    /// Transactions that committed on time.
+    pub txns_committed: u64,
+    /// Transactions that missed their deadline (all abort categories).
+    pub txns_missed: u64,
+    /// Current OS-queue depth.
+    pub os_depth: u64,
+    /// Current update-queue depth.
+    pub uq_depth: u64,
+    /// Time-weighted stale fraction, low-importance partition.
+    pub fold_low: f64,
+    /// Time-weighted stale fraction, high-importance partition.
+    pub fold_high: f64,
+    /// Missed-deadline fraction.
+    pub p_md: f64,
+    /// Average value per second from on-time commits.
+    pub av: f64,
+}
+
+/// One protocol message (the body of one frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client → server: an external update (tag 1).
+    Update(WireUpdate),
+    /// Client → server: a transaction (tag 2).
+    Txn(WireTxn),
+    /// Client → server: a point read (tag 3).
+    Query(WireQuery),
+    /// Client → server: request a [`Msg::StatsResponse`] (tag 4).
+    StatsRequest,
+    /// Client → server: request a [`Msg::ReportJson`] (tag 5).
+    ReportRequest,
+    /// Client → server: stop the executor and finalise the run (tag 6).
+    Shutdown,
+    /// Server → client: answer to a query (tag 33).
+    QueryResponse(WireQueryResponse),
+    /// Server → client: aggregate counters (tag 34).
+    StatsResponse(WireStats),
+    /// Server → client: a full `RunReport` as JSON (tag 35).
+    ReportJson(String),
+}
+
+/// A malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended before the payload was complete.
+    Truncated,
+    /// The body continued past the payload.
+    Trailing(usize),
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Importance class byte outside {0, 1}.
+    BadClass(u8),
+    /// Declared frame length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// A `ReportJson` body was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame body truncated"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            ProtoError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            ProtoError::BadClass(c) => write!(f, "importance class byte {c} not in {{0, 1}}"),
+            ProtoError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::BadUtf8 => write!(f, "report body is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// encode
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+impl Msg {
+    /// Tag byte identifying this message kind on the wire.
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        match self {
+            Msg::Update(_) => 1,
+            Msg::Txn(_) => 2,
+            Msg::Query(_) => 3,
+            Msg::StatsRequest => 4,
+            Msg::ReportRequest => 5,
+            Msg::Shutdown => 6,
+            Msg::QueryResponse(_) => 33,
+            Msg::StatsResponse(_) => 34,
+            Msg::ReportJson(_) => 35,
+        }
+    }
+
+    /// Encodes the frame body (tag + payload), without the length prefix.
+    #[must_use]
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.push(self.tag());
+        match self {
+            Msg::Update(u) => {
+                out.push(u.class);
+                put_u32(&mut out, u.index);
+                put_i64(&mut out, u.generation_micros);
+                put_f64(&mut out, u.payload);
+                put_u64(&mut out, u.attr_mask);
+            }
+            Msg::Txn(t) => {
+                put_u64(&mut out, t.id);
+                out.push(t.class);
+                put_f64(&mut out, t.value);
+                put_u64(&mut out, t.slack_micros);
+                put_u64(&mut out, t.compute_micros);
+                put_u32(&mut out, t.reads.len() as u32);
+                for (class, index) in &t.reads {
+                    out.push(*class);
+                    put_u32(&mut out, *index);
+                }
+            }
+            Msg::Query(q) => {
+                out.push(q.class);
+                put_u32(&mut out, q.index);
+            }
+            Msg::StatsRequest | Msg::ReportRequest | Msg::Shutdown => {}
+            Msg::QueryResponse(r) => {
+                put_f64(&mut out, r.payload);
+                put_i64(&mut out, r.generation_micros);
+                put_i64(&mut out, r.age_micros);
+                out.push(r.uu_stale);
+            }
+            Msg::StatsResponse(s) => {
+                put_u64(&mut out, s.ingested);
+                put_u64(&mut out, s.applied);
+                put_u64(&mut out, s.superseded);
+                put_u64(&mut out, s.shed);
+                put_u64(&mut out, s.queued);
+                put_u64(&mut out, s.txns_arrived);
+                put_u64(&mut out, s.txns_committed);
+                put_u64(&mut out, s.txns_missed);
+                put_u64(&mut out, s.os_depth);
+                put_u64(&mut out, s.uq_depth);
+                put_f64(&mut out, s.fold_low);
+                put_f64(&mut out, s.fold_high);
+                put_f64(&mut out, s.p_md);
+                put_f64(&mut out, s.av);
+            }
+            Msg::ReportJson(json) => out.extend_from_slice(json.as_bytes()),
+        }
+        out
+    }
+
+    /// Encodes the complete frame, length prefix included.
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        debug_assert!(body.len() <= MAX_FRAME, "oversized outgoing frame");
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// decode
+// ---------------------------------------------------------------------------
+
+/// Byte-slice reader tracking the decode position.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn class(&mut self) -> Result<u8, ProtoError> {
+        let c = self.u8()?;
+        if c > 1 {
+            return Err(ProtoError::BadClass(c));
+        }
+        Ok(c)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtoError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self, msg: Msg) -> Result<Msg, ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(ProtoError::Trailing(left));
+        }
+        Ok(msg)
+    }
+}
+
+/// Decodes one frame body (tag + payload, no length prefix).
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] for unknown tags, truncated or trailing payloads,
+/// bad class bytes, oversized bodies and non-UTF-8 report bodies.
+pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
+    if body.len() > MAX_FRAME {
+        return Err(ProtoError::TooLarge(body.len()));
+    }
+    let mut c = Cursor { buf: body, pos: 0 };
+    let tag = c.u8()?;
+    match tag {
+        1 => {
+            let msg = Msg::Update(WireUpdate {
+                class: c.class()?,
+                index: c.u32()?,
+                generation_micros: c.i64()?,
+                payload: c.f64()?,
+                attr_mask: c.u64()?,
+            });
+            c.finish(msg)
+        }
+        2 => {
+            let id = c.u64()?;
+            let class = c.class()?;
+            let value = c.f64()?;
+            let slack_micros = c.u64()?;
+            let compute_micros = c.u64()?;
+            let n = c.u32()? as usize;
+            if n > MAX_TXN_READS {
+                return Err(ProtoError::TooLarge(TXN_FIXED + n * READ_ENTRY));
+            }
+            let mut reads = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rc = c.class()?;
+                let ri = c.u32()?;
+                reads.push((rc, ri));
+            }
+            c.finish(Msg::Txn(WireTxn {
+                id,
+                class,
+                value,
+                slack_micros,
+                compute_micros,
+                reads,
+            }))
+        }
+        3 => {
+            let msg = Msg::Query(WireQuery {
+                class: c.class()?,
+                index: c.u32()?,
+            });
+            c.finish(msg)
+        }
+        4 => c.finish(Msg::StatsRequest),
+        5 => c.finish(Msg::ReportRequest),
+        6 => c.finish(Msg::Shutdown),
+        33 => {
+            let msg = Msg::QueryResponse(WireQueryResponse {
+                payload: c.f64()?,
+                generation_micros: c.i64()?,
+                age_micros: c.i64()?,
+                uu_stale: c.u8()?,
+            });
+            c.finish(msg)
+        }
+        34 => {
+            let msg = Msg::StatsResponse(WireStats {
+                ingested: c.u64()?,
+                applied: c.u64()?,
+                superseded: c.u64()?,
+                shed: c.u64()?,
+                queued: c.u64()?,
+                txns_arrived: c.u64()?,
+                txns_committed: c.u64()?,
+                txns_missed: c.u64()?,
+                os_depth: c.u64()?,
+                uq_depth: c.u64()?,
+                fold_low: c.f64()?,
+                fold_high: c.f64()?,
+                p_md: c.f64()?,
+                av: c.f64()?,
+            });
+            c.finish(msg)
+        }
+        35 => {
+            let rest = c.take(body.len() - 1)?;
+            let json = std::str::from_utf8(rest)
+                .map_err(|_| ProtoError::BadUtf8)?
+                .to_string();
+            c.finish(Msg::ReportJson(json))
+        }
+        t => Err(ProtoError::BadTag(t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stream I/O
+// ---------------------------------------------------------------------------
+
+/// Reads one frame body from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// I/O errors pass through; an EOF inside a frame or a length prefix past
+/// [`MAX_FRAME`] becomes `InvalidData`.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::TooLarge(len).into());
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Reads and decodes one message; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// I/O errors pass through; malformed bodies become `InvalidData`.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
+    match read_frame(r)? {
+        Some(body) => Ok(Some(decode_body(&body)?)),
+        None => Ok(None),
+    }
+}
+
+/// Encodes and writes one message as a complete frame.
+///
+/// # Errors
+///
+/// `InvalidInput` when the encoded body would exceed [`MAX_FRAME`] (a
+/// peer would refuse the frame, so it never goes on the wire); other I/O
+/// errors pass through.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> io::Result<()> {
+    let body = msg.encode_body();
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            ProtoError::TooLarge(body.len()).to_string(),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    w.write_all(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_fixed_message() {
+        let msgs = [
+            Msg::Update(WireUpdate {
+                class: 1,
+                index: 42,
+                generation_micros: -1_500_000,
+                payload: 3.25,
+                attr_mask: u64::MAX,
+            }),
+            Msg::Query(WireQuery { class: 0, index: 7 }),
+            Msg::StatsRequest,
+            Msg::ReportRequest,
+            Msg::Shutdown,
+            Msg::QueryResponse(WireQueryResponse {
+                payload: -0.5,
+                generation_micros: 10,
+                age_micros: 990,
+                uu_stale: 1,
+            }),
+            Msg::StatsResponse(WireStats {
+                ingested: 10,
+                applied: 6,
+                superseded: 1,
+                shed: 2,
+                queued: 1,
+                fold_low: 0.125,
+                av: 2.5,
+                ..WireStats::default()
+            }),
+            Msg::ReportJson("{\"policy\":\"TF\"}".to_string()),
+        ];
+        for msg in msgs {
+            let body = msg.encode_body();
+            assert_eq!(decode_body(&body), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn txn_round_trip_including_empty_read_set() {
+        for reads in [vec![], vec![(0u8, 3u32), (1, 0), (1, 499)]] {
+            let msg = Msg::Txn(WireTxn {
+                id: 9,
+                class: 0,
+                value: 1.5,
+                slack_micros: 500_000,
+                compute_micros: 120_000,
+                reads,
+            });
+            assert_eq!(decode_body(&msg.encode_body()), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn framed_stream_round_trip() {
+        let mut wire = Vec::new();
+        let sent = [
+            Msg::Update(WireUpdate {
+                class: 0,
+                index: 1,
+                generation_micros: 5,
+                payload: 1.0,
+                attr_mask: u64::MAX,
+            }),
+            Msg::StatsRequest,
+        ];
+        for m in &sent {
+            write_msg(&mut wire, m).unwrap();
+        }
+        let mut r = &wire[..];
+        for m in &sent {
+            assert_eq!(read_msg(&mut r).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_msg(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert_eq!(decode_body(&[]), Err(ProtoError::Truncated));
+        assert_eq!(decode_body(&[99]), Err(ProtoError::BadTag(99)));
+        assert_eq!(
+            decode_body(&[3, 2, 0, 0, 0, 0]),
+            Err(ProtoError::BadClass(2))
+        );
+        // A valid query with a trailing byte.
+        let mut body = Msg::Query(WireQuery { class: 0, index: 0 }).encode_body();
+        body.push(0);
+        assert_eq!(decode_body(&body), Err(ProtoError::Trailing(1)));
+        // Truncated update.
+        let body = Msg::Update(WireUpdate {
+            class: 0,
+            index: 0,
+            generation_micros: 0,
+            payload: 0.0,
+            attr_mask: 0,
+        })
+        .encode_body();
+        assert_eq!(
+            decode_body(&body[..body.len() - 1]),
+            Err(ProtoError::Truncated)
+        );
+        // Declared read count past the frame cap.
+        let mut txn = Msg::Txn(WireTxn {
+            id: 0,
+            class: 0,
+            value: 0.0,
+            slack_micros: 0,
+            compute_micros: 0,
+            reads: vec![],
+        })
+        .encode_body();
+        let n = (MAX_TXN_READS as u32 + 1).to_le_bytes();
+        let off = txn.len() - 4;
+        txn[off..].copy_from_slice(&n);
+        assert!(matches!(decode_body(&txn), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,378 @@
+//! The `stripd` TCP front end.
+//!
+//! One executor thread owns the scheduling core; an accept loop hands each
+//! connection to its own thread, and connection threads talk to the
+//! executor exclusively through the [`Ingest`] channel — the same channel
+//! in-process tests drive directly, so TCP adds transport and nothing
+//! else. The listener port doubles as a Prometheus-style scrape endpoint:
+//! a connection whose first bytes are `GET ` is answered with an
+//! HTTP `text/plain` metrics page instead of the binary protocol.
+
+// lint: allow-file(wall-clock, reason=the accept loop polls a shutdown flag between non-blocking accepts; this is transport plumbing outside the modelled CPU)
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use strip_core::report::RunReport;
+use strip_obs::PromText;
+
+use crate::executor::{Executor, Ingest, LiveConfig};
+use crate::protocol::{read_msg, write_msg, Msg, WireStats};
+
+/// A running live server: the executor thread, the accept loop, and a
+/// handle to the shared ingest channel.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    tx: Sender<Ingest>,
+    stop: Arc<AtomicBool>,
+    exec: JoinHandle<RunReport>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A sender into the executor's ingest channel (for in-process
+    /// producers living beside the TCP clients).
+    #[must_use]
+    pub fn ingest(&self) -> Sender<Ingest> {
+        self.tx.clone()
+    }
+
+    /// Blocks until the executor finishes — that is, until some client
+    /// (or an in-process producer) sends a shutdown — then tears down the
+    /// accept loop and returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the executor or accept thread panicked.
+    pub fn wait(self) -> io::Result<RunReport> {
+        let report = self
+            .exec
+            .join()
+            .map_err(|_| io::Error::other("executor thread panicked"))?;
+        self.stop.store(true, Ordering::Release);
+        self.accept
+            .join()
+            .map_err(|_| io::Error::other("accept thread panicked"))?;
+        Ok(report)
+    }
+
+    /// Requests shutdown and then [`ServerHandle::wait`]s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerHandle::wait`] errors.
+    pub fn shutdown(self) -> io::Result<RunReport> {
+        let _ = self.tx.send(Ingest::Shutdown);
+        self.wait()
+    }
+}
+
+/// Starts a live server on `listener`. Returns once the executor and
+/// accept threads are running.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors.
+pub fn serve(cfg: &LiveConfig, listener: TcpListener) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = mpsc::channel();
+    let exec = Executor::new(cfg, rx);
+    let exec_thread = thread::Builder::new()
+        .name("stripd-exec".into())
+        .spawn(move || exec.run())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_tx = tx.clone();
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = thread::Builder::new()
+        .name("stripd-accept".into())
+        .spawn(move || {
+            accept_loop(&listener, &accept_tx, &accept_stop);
+        })?;
+    Ok(ServerHandle {
+        addr,
+        tx,
+        stop,
+        exec: exec_thread,
+        accept: accept_thread,
+    })
+}
+
+/// Polls for connections every 50 ms until the stop flag is raised.
+fn accept_loop(listener: &TcpListener, tx: &Sender<Ingest>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_tx = tx.clone();
+                let conn_stop = Arc::clone(stop);
+                let _ = thread::Builder::new()
+                    .name("stripd-conn".into())
+                    .spawn(move || {
+                        let _ = handle_conn(stream, &conn_tx, &conn_stop);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serves one connection: either a binary protocol session or, when the
+/// first bytes spell an HTTP GET, one `/metrics` scrape.
+fn handle_conn(
+    mut stream: TcpStream,
+    tx: &Sender<Ingest>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Sniff the transport: binary frames are at least 5 bytes, so waiting
+    // for 4 peeked bytes cannot deadlock a well-formed client.
+    let mut first = [0u8; 4];
+    loop {
+        let n = stream.peek(&mut first)?;
+        if n >= 4 || n == 0 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    if first == *b"GET " {
+        return serve_metrics(&mut stream, tx);
+    }
+    loop {
+        let msg = match read_msg(&mut stream) {
+            Ok(Some(m)) => m,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Msg::Update(w) => {
+                if tx.send(Ingest::Update(w)).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::Txn(w) => {
+                if tx.send(Ingest::Txn(w)).is_err() {
+                    return Ok(());
+                }
+            }
+            Msg::Query(q) => {
+                let (qtx, qrx) = mpsc::sync_channel(1);
+                if tx.send(Ingest::Query { q, reply: qtx }).is_err() {
+                    return Ok(());
+                }
+                let resp = qrx
+                    .recv()
+                    .map_err(|_| io::Error::other("executor dropped query"))?;
+                write_msg(&mut stream, &Msg::QueryResponse(resp))?;
+            }
+            Msg::StatsRequest => {
+                let report = request_snapshot(tx)?;
+                write_msg(&mut stream, &Msg::StatsResponse(stats_from_report(&report)))?;
+            }
+            Msg::ReportRequest => {
+                let report = request_snapshot(tx)?;
+                write_msg(&mut stream, &Msg::ReportJson(report.to_json()))?;
+            }
+            Msg::Shutdown => {
+                let _ = tx.send(Ingest::Shutdown);
+                stop.store(true, Ordering::Release);
+                return Ok(());
+            }
+            Msg::QueryResponse(_) | Msg::StatsResponse(_) | Msg::ReportJson(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "server-to-client message received by server",
+                ));
+            }
+        }
+    }
+}
+
+/// Asks the executor for an interim report snapshot.
+fn request_snapshot(tx: &Sender<Ingest>) -> io::Result<RunReport> {
+    let (rtx, rrx) = mpsc::sync_channel(1);
+    tx.send(Ingest::Snapshot { reply: rtx })
+        .map_err(|_| io::Error::other("executor gone"))?;
+    rrx.recv()
+        .map_err(|_| io::Error::other("executor dropped snapshot"))
+}
+
+/// Derives the wire-level aggregate counters from a full report. The
+/// update counters partition `ingested` exactly (conservation):
+/// `ingested = applied + superseded + shed + queued`.
+#[must_use]
+pub fn stats_from_report(r: &RunReport) -> WireStats {
+    let u = &r.updates;
+    let t = &r.txns;
+    WireStats {
+        ingested: u.arrived,
+        applied: u.installed_total(),
+        superseded: u.superseded_skips,
+        shed: u.os_dropped
+            + u.overflow_dropped
+            + u.expired_dropped
+            + u.dedup_dropped
+            + u.admission_shed,
+        queued: u.left_in_os + u.left_in_update_queue + u.in_flight_at_end,
+        txns_arrived: t.arrived,
+        txns_committed: t.committed,
+        txns_missed: t.missed_deadline + t.aborted_infeasible + t.aborted_stale,
+        os_depth: u.left_in_os,
+        uq_depth: u.left_in_update_queue,
+        fold_low: r.fold_low,
+        fold_high: r.fold_high,
+        p_md: t.p_md(),
+        av: r.av(),
+    }
+}
+
+/// Renders the Prometheus-style text page for `/metrics`.
+#[must_use]
+pub fn render_metrics(r: &RunReport) -> String {
+    let s = stats_from_report(r);
+    let mut page = PromText::new();
+    page.counter(
+        "strip_live_updates_ingested_total",
+        "Updates that arrived at the server.",
+        s.ingested,
+    );
+    page.counter(
+        "strip_live_updates_applied_total",
+        "Updates installed into the store (any path).",
+        s.applied,
+    );
+    page.counter(
+        "strip_live_updates_superseded_total",
+        "Updates skipped after lookup (store already newer).",
+        s.superseded,
+    );
+    page.counter(
+        "strip_live_updates_shed_total",
+        "Updates dropped by queue bounds, MA expiry, dedup or admission.",
+        s.shed,
+    );
+    page.gauge(
+        "strip_live_updates_queued",
+        "Updates still queued or on the CPU.",
+        s.queued as f64,
+    );
+    page.counter(
+        "strip_live_txns_arrived_total",
+        "Transactions submitted.",
+        s.txns_arrived,
+    );
+    page.counter(
+        "strip_live_txns_committed_total",
+        "Transactions committed by their deadline.",
+        s.txns_committed,
+    );
+    page.counter(
+        "strip_live_txns_missed_total",
+        "Transactions aborted (deadline, infeasible, or stale read).",
+        s.txns_missed,
+    );
+    page.gauge(
+        "strip_live_os_queue_depth",
+        "Current OS receive-queue depth.",
+        s.os_depth as f64,
+    );
+    page.gauge(
+        "strip_live_update_queue_depth",
+        "Current application update-queue depth.",
+        s.uq_depth as f64,
+    );
+    page.gauge_labeled(
+        "strip_live_fold",
+        "Time-weighted stale fraction per importance class.",
+        "class",
+        &[("low", s.fold_low), ("high", s.fold_high)],
+    );
+    page.gauge("strip_live_p_md", "Missed-deadline fraction.", s.p_md);
+    page.gauge(
+        "strip_live_av",
+        "Average value per second from on-time commits.",
+        s.av,
+    );
+    page.gauge(
+        "strip_live_cpu_rho_t",
+        "CPU utilisation by transactions.",
+        r.cpu.rho_t(),
+    );
+    page.gauge(
+        "strip_live_cpu_rho_u",
+        "CPU utilisation by update installation.",
+        r.cpu.rho_u(),
+    );
+    page.render()
+}
+
+/// Answers one HTTP GET with the metrics page and closes.
+fn serve_metrics(stream: &mut TcpStream, tx: &Sender<Ingest>) -> io::Result<()> {
+    // Read and discard the request head (bounded).
+    let mut buf = [0u8; 4096];
+    let mut seen = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        seen.extend_from_slice(&buf[..n]);
+        if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 64 * 1024 {
+            break;
+        }
+    }
+    let report = request_snapshot(tx)?;
+    let body = render_metrics(&report);
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mapping_is_conservative_by_construction() {
+        use strip_core::config::SimConfig;
+        use strip_core::controller::run_simulation;
+        use strip_core::sources::{ScriptedTxns, ScriptedUpdates};
+        let cfg = SimConfig::builder()
+            .n_low(4)
+            .n_high(4)
+            .lambda_u(0.0)
+            .lambda_t(0.0)
+            .duration(1.0)
+            .warmup(0.0)
+            .build()
+            .expect("valid config");
+        let report = run_simulation(
+            &cfg,
+            ScriptedUpdates::new(Vec::new()),
+            ScriptedTxns::new(Vec::new()),
+        );
+        let s = stats_from_report(&report);
+        assert_eq!(s.ingested, s.applied + s.superseded + s.shed + s.queued);
+        let page = render_metrics(&report);
+        assert!(page.contains("strip_live_updates_ingested_total 0"));
+        assert!(page.contains("strip_live_fold{class=\"high\"}"));
+    }
+}

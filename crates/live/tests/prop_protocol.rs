@@ -1,0 +1,205 @@
+//! Property tests: every wire message survives an encode → decode
+//! round-trip unchanged, including the zero-length and maximum-size
+//! edges of the variable-length frames.
+
+use proptest::prelude::*;
+use strip_live::protocol::{
+    read_msg, write_msg, Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate,
+    MAX_TXN_READS,
+};
+
+/// Encodes `msg` into a buffer and decodes it back out.
+fn round_trip(msg: &Msg) -> Msg {
+    let mut buf = Vec::new();
+    write_msg(&mut buf, msg).expect("encode into Vec");
+    let mut cursor = &buf[..];
+    let decoded = read_msg(&mut cursor)
+        .expect("decode")
+        .expect("one full frame present");
+    assert!(cursor.is_empty(), "frame left trailing bytes");
+    decoded
+}
+
+fn update_strategy() -> impl Strategy<Value = WireUpdate> {
+    (
+        0u8..2,
+        0u32..u32::MAX,
+        i64::MIN..i64::MAX,
+        -1e12f64..1e12,
+        0u64..u64::MAX,
+    )
+        .prop_map(
+            |(class, index, generation_micros, payload, attr_mask)| WireUpdate {
+                class,
+                index,
+                generation_micros,
+                payload,
+                attr_mask,
+            },
+        )
+}
+
+fn txn_strategy() -> impl Strategy<Value = WireTxn> {
+    (
+        (0u64..u64::MAX, 0u8..2, -1e9f64..1e9),
+        (0u64..u64::MAX, 0u64..u64::MAX),
+        prop::collection::vec((0u8..2, 0u32..u32::MAX), 0..40),
+    )
+        .prop_map(
+            |((id, class, value), (slack_micros, compute_micros), reads)| WireTxn {
+                id,
+                class,
+                value,
+                slack_micros,
+                compute_micros,
+                reads,
+            },
+        )
+}
+
+fn stats_strategy() -> impl Strategy<Value = WireStats> {
+    (
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+        ),
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+        ),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1e9),
+    )
+        .prop_map(
+            |(
+                (ingested, applied, superseded, shed, queued),
+                (txns_arrived, txns_committed, txns_missed, os_depth, uq_depth),
+                (fold_low, fold_high, p_md, av),
+            )| WireStats {
+                ingested,
+                applied,
+                superseded,
+                shed,
+                queued,
+                txns_arrived,
+                txns_committed,
+                txns_missed,
+                os_depth,
+                uq_depth,
+                fold_low,
+                fold_high,
+                p_md,
+                av,
+            },
+        )
+}
+
+fn msg_strategy() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        3 => update_strategy().prop_map(Msg::Update),
+        3 => txn_strategy().prop_map(Msg::Txn),
+        2 => (0u8..2, 0u32..u32::MAX).prop_map(|(class, index)| Msg::Query(WireQuery { class, index })),
+        1 => Just(Msg::StatsRequest),
+        1 => Just(Msg::ReportRequest),
+        1 => Just(Msg::Shutdown),
+        2 => (-1e12f64..1e12, i64::MIN..i64::MAX, i64::MIN..i64::MAX, 0u8..2).prop_map(
+            |(payload, generation_micros, age_micros, uu_stale)| {
+                Msg::QueryResponse(WireQueryResponse {
+                    payload,
+                    generation_micros,
+                    age_micros,
+                    uu_stale,
+                })
+            }
+        ),
+        2 => stats_strategy().prop_map(Msg::StatsResponse),
+        1 => prop::collection::vec(32u8..127, 0..200).prop_map(|bytes| {
+            Msg::ReportJson(String::from_utf8(bytes).expect("printable ascii"))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_message_round_trips(msg in msg_strategy()) {
+        prop_assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn txn_read_sets_round_trip_at_any_length(
+        n in 0usize..200,
+        seed in 0u64..u64::MAX,
+    ) {
+        let reads: Vec<(u8, u32)> = (0..n)
+            .map(|i| ((i % 2) as u8, (seed as u32).wrapping_add(i as u32)))
+            .collect();
+        let msg = Msg::Txn(WireTxn {
+            id: seed,
+            class: (seed % 2) as u8,
+            value: 1.0,
+            slack_micros: seed >> 1,
+            compute_micros: seed >> 2,
+            reads,
+        });
+        prop_assert_eq!(round_trip(&msg), msg);
+    }
+}
+
+/// Zero-length edges: an empty read set and an empty report string.
+#[test]
+fn zero_length_payloads_round_trip() {
+    let txn = Msg::Txn(WireTxn {
+        id: 0,
+        class: 0,
+        value: 0.0,
+        slack_micros: 0,
+        compute_micros: 0,
+        reads: Vec::new(),
+    });
+    assert_eq!(round_trip(&txn), txn);
+    let report = Msg::ReportJson(String::new());
+    assert_eq!(round_trip(&report), report);
+}
+
+/// Maximum-size edge: a transaction frame carrying the largest read set
+/// that fits in `MAX_FRAME` round-trips; one more read is rejected by
+/// the encoder rather than producing an undecodable frame.
+#[test]
+fn max_size_txn_frame_round_trips_and_overflow_is_rejected() {
+    let reads: Vec<(u8, u32)> = (0..MAX_TXN_READS)
+        .map(|i| ((i % 2) as u8, i as u32))
+        .collect();
+    let msg = Msg::Txn(WireTxn {
+        id: u64::MAX,
+        class: 1,
+        value: -1.5,
+        slack_micros: u64::MAX,
+        compute_micros: u64::MAX,
+        reads,
+    });
+    assert_eq!(round_trip(&msg), msg);
+
+    let too_many: Vec<(u8, u32)> = (0..=MAX_TXN_READS)
+        .map(|i| ((i % 2) as u8, i as u32))
+        .collect();
+    let over = Msg::Txn(WireTxn {
+        id: 1,
+        class: 0,
+        value: 0.0,
+        slack_micros: 0,
+        compute_micros: 0,
+        reads: too_many,
+    });
+    let mut buf = Vec::new();
+    assert!(
+        write_msg(&mut buf, &over).is_err(),
+        "oversized frame must be refused at encode time"
+    );
+}

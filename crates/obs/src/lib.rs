@@ -542,9 +542,85 @@ pub fn gauges_csv(data: &TraceData) -> String {
     s
 }
 
+/// Builder for Prometheus text exposition format (version 0.0.4), used by
+/// the `stripd` `/metrics` endpoint.
+///
+/// Metrics appear in insertion order — callers emit them from a fixed
+/// sequence of struct fields, so the rendered page is deterministic (no
+/// hash-map iteration anywhere).
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// Creates an empty page.
+    #[must_use]
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Appends a counter metric.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a gauge metric.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends one gauge with a single `{label="value"}` pair per sample.
+    /// Samples render in the order given.
+    pub fn gauge_labeled(&mut self, name: &str, help: &str, label: &str, samples: &[(&str, f64)]) {
+        self.header(name, help, "gauge");
+        for (lv, v) in samples {
+            let _ = writeln!(self.out, "{name}{{{label}=\"{lv}\"}} {v}");
+        }
+    }
+
+    /// The rendered exposition page.
+    #[must_use]
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prom_text_renders_in_insertion_order() {
+        let mut p = PromText::new();
+        p.counter("strip_updates_ingested_total", "Updates ingested.", 7);
+        p.gauge("strip_uq_depth", "Update-queue depth.", 3.0);
+        p.gauge_labeled(
+            "strip_fold",
+            "Stale fraction.",
+            "class",
+            &[("low", 0.25), ("high", 0.5)],
+        );
+        let page = p.render();
+        let expected = "# HELP strip_updates_ingested_total Updates ingested.\n\
+                        # TYPE strip_updates_ingested_total counter\n\
+                        strip_updates_ingested_total 7\n\
+                        # HELP strip_uq_depth Update-queue depth.\n\
+                        # TYPE strip_uq_depth gauge\n\
+                        strip_uq_depth 3\n\
+                        # HELP strip_fold Stale fraction.\n\
+                        # TYPE strip_fold gauge\n\
+                        strip_fold{class=\"low\"} 0.25\n\
+                        strip_fold{class=\"high\"} 0.5\n";
+        assert_eq!(page, expected);
+    }
 
     fn sink_with(capacity: usize, cadence: Option<f64>) -> TraceSink {
         TraceSink::new(

@@ -33,6 +33,17 @@ impl Importance {
             Importance::High => 1,
         }
     }
+
+    /// Inverse of [`Importance::index`], for decoding wire formats.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Importance> {
+        match index {
+            0 => Some(Importance::Low),
+            1 => Some(Importance::High),
+            _ => None,
+        }
+    }
 }
 
 /// Identifier of a view object: importance class plus index within the
@@ -184,6 +195,10 @@ mod tests {
         assert_eq!(Importance::Low.index(), 0);
         assert_eq!(Importance::High.index(), 1);
         assert_eq!(Importance::ALL.len(), 2);
+        for class in Importance::ALL {
+            assert_eq!(Importance::from_index(class.index()), Some(class));
+        }
+        assert_eq!(Importance::from_index(2), None);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   scenario presets.
 //! * [`experiments`] — the harness that regenerates every figure of the
 //!   paper's evaluation.
+//! * [`live`] — the wall-clock soft real-time runtime (`stripd` server and
+//!   `strip-loadgen` client) running the same policies in real time.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 pub use strip_core as core;
 pub use strip_db as db;
 pub use strip_experiments as experiments;
+pub use strip_live as live;
 pub use strip_obs as obs;
 pub use strip_sim as sim;
 pub use strip_workload as workload;
