@@ -1,16 +1,22 @@
-//! Bench-gated perf harness for the live runtime: measures wire-ingest
-//! throughput (updates/sec through a real TCP socket into a running
-//! `stripd` executor) and the pure policy-decision hot path, and writes a
-//! machine-readable JSON artefact (default `BENCH_5.json`; first CLI
-//! argument overrides the path).
+//! Bench-gated perf harness for the live runtime. Measures the ingest
+//! pipeline end to end (frame-per-update vs `UpdateBatch` frames under
+//! credit flow control), decomposes it layer by layer — syscall+framing,
+//! batch decode, SPSC enqueue, database install — plus the pure
+//! policy-decision hot path, and writes a machine-readable JSON artefact
+//! (default `BENCH_6.json`; first CLI argument overrides the path).
 //!
-//! Knobs: `PERF_LIVE_UPDATES` scales the ingest stream length (default
-//! 50 000 updates); `PERF_POLICY_ITERS` the decision loop (default
-//! 2 000 000 iterations × 4 policies × 6 calls).
+//! Knobs: `PERF_LIVE_UPDATES` scales every ingest/layer stream (default
+//! 50 000 updates end-to-end, 20× that for the socket-free layers),
+//! `PERF_LIVE_BATCH` the batch size (default 512), `PERF_POLICY_ITERS`
+//! the decision loop (default 2 000 000 iterations × 4 policies × 6
+//! calls).
 
 use std::fmt::Write as _;
 
-use strip_bench::live_perf::{live_ingest, policy_decision, RateResult};
+use strip_bench::live_perf::{
+    layer_decode, layer_enqueue, layer_install, layer_syscall, live_ingest, live_ingest_batched,
+    policy_decision, RateResult,
+};
 
 fn rate_json(out: &mut String, indent: &str, r: &RateResult) {
     let _ = write!(
@@ -30,6 +36,15 @@ fn rate_json(out: &mut String, indent: &str, r: &RateResult) {
     );
 }
 
+fn print_rate(r: &RateResult, unit: &str) {
+    eprintln!(
+        "{:<26} {:>14.0} {unit}/s {:>9.2} ns/{unit}",
+        r.name,
+        r.ops_per_sec(),
+        r.ns_per_op(),
+    );
+}
+
 fn env_scale(var: &str, default: usize) -> usize {
     std::env::var(var)
         .ok()
@@ -41,7 +56,7 @@ fn env_scale(var: &str, default: usize) -> usize {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     // Fail before the measurements, not after them, if the artefact path
     // is unwritable.
     if let Err(e) = std::fs::File::create(&out_path) {
@@ -49,38 +64,63 @@ fn main() {
         std::process::exit(2);
     }
     let n_updates = env_scale("PERF_LIVE_UPDATES", 50_000);
+    let batch = env_scale("PERF_LIVE_BATCH", 512);
     let iters = env_scale("PERF_POLICY_ITERS", 2_000_000);
+    // The socket-free layers are orders of magnitude faster than the
+    // end-to-end path; scale them up so each measures more than timer
+    // noise.
+    let n_layer = n_updates.saturating_mul(20);
     let reps = 3;
 
-    eprintln!("# live TCP ingest ({n_updates} updates, best of {reps}) …");
-    let ingest = live_ingest(n_updates, reps);
-    eprintln!(
-        "{:<22} {:>12.0} updates/s   {:>8.2} ns/update",
-        ingest.name,
-        ingest.ops_per_sec(),
-        ingest.ns_per_op(),
-    );
+    eprintln!("# ingest layers ({n_layer} updates, batch {batch}, best of {reps}) …");
+    let syscall = layer_syscall(n_layer, batch, reps);
+    print_rate(&syscall, "update");
+    let decode = layer_decode(n_layer, batch, reps);
+    print_rate(&decode, "update");
+    let enqueue = layer_enqueue(n_layer, reps);
+    print_rate(&enqueue, "update");
+    let install = layer_install(n_layer, reps);
+    print_rate(&install, "update");
+
+    eprintln!("# live TCP ingest, frame per update ({n_updates} updates, best of {reps}) …");
+    let unbatched = live_ingest(n_updates, reps);
+    print_rate(&unbatched, "update");
+
+    eprintln!("# live TCP ingest, batched ({n_updates} updates, batch {batch}, best of {reps}) …");
+    let batched = live_ingest_batched(n_updates, batch, reps);
+    print_rate(&batched, "update");
+    let speedup = batched.ops_per_sec() / unbatched.ops_per_sec();
+    eprintln!("batched/unbatched speedup: {speedup:.2}x");
 
     eprintln!("# policy decision hot path ({iters} iters × 4 policies, best of {reps}) …");
     let decisions = policy_decision(iters, reps);
-    eprintln!(
-        "{:<22} {:>12.0} decisions/s {:>8.2} ns/decision",
-        decisions.name,
-        decisions.ops_per_sec(),
-        decisions.ns_per_op(),
-    );
+    print_rate(&decisions, "decision");
 
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": 5,\n");
+    json.push_str("{\n  \"bench\": 6,\n");
     let _ = writeln!(
         json,
-        "  \"description\": \"live runtime: TCP ingest throughput into a running executor \
-         (1000x-scaled cost model so the runtime's own overhead is priced, StatsRequest as \
-         completion barrier) and the shared pure policy-decision hot path\","
+        "  \"description\": \"live ingest pipeline: per-layer costs (loopback syscall+framing, \
+         batch decode, SPSC ring enqueue, database install), end-to-end TCP ingest with one \
+         frame per update vs UpdateBatch frames under credit flow control (1000x-scaled cost \
+         model, StatsRequest completion barrier), and the shared pure policy-decision hot \
+         path\","
     );
+    let _ = writeln!(json, "  \"batch_size\": {batch},");
+    json.push_str("  \"layers\": [\n");
+    for (i, r) in [&syscall, &decode, &enqueue, &install].iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        rate_json(&mut json, "    ", r);
+    }
+    json.push_str("\n  ],\n");
     json.push_str("  \"live_ingest\":\n");
-    rate_json(&mut json, "  ", &ingest);
-    json.push_str(",\n  \"policy_decision\":\n");
+    rate_json(&mut json, "  ", &unbatched);
+    json.push_str(",\n  \"live_ingest_batched\":\n");
+    rate_json(&mut json, "  ", &batched);
+    let _ = write!(json, ",\n  \"batched_speedup\": {speedup:.3},\n");
+    json.push_str("  \"policy_decision\":\n");
     rate_json(&mut json, "  ", &decisions);
     json.push_str("\n}\n");
 

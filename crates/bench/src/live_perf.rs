@@ -1,10 +1,12 @@
 //! Perf measurements of the live runtime (`strip-live`): wire-ingest
-//! throughput through a real TCP socket and the pure policy-decision hot
-//! path shared by simulator and server.
+//! throughput through a real TCP socket (frame-per-update and batched),
+//! a layer-by-layer decomposition of the ingest pipeline (syscall /
+//! decode / enqueue / install), and the pure policy-decision hot path
+//! shared by simulator and server.
 //!
 //! Unlike [`crate::perf`]'s paired old-vs-new measurements these are
 //! single-sided rates — there is no seed implementation of the live
-//! runtime to compare against. They feed `BENCH_5.json` via the
+//! runtime to compare against. They feed `BENCH_6.json` via the
 //! `live_perf_harness` binary.
 
 use std::hint::black_box;
@@ -16,10 +18,17 @@ use strip_core::config::{Policy, SimConfig};
 use strip_core::policy::{self, WorkState};
 use strip_db::cost::CostModel;
 use strip_db::object::Importance;
-use strip_db::staleness::StalenessSpec;
+use strip_db::object::ViewObjectId;
+use strip_db::osqueue::OsQueue;
+use strip_db::staleness::{StalenessSpec, StalenessTracker};
+use strip_db::store::Store;
+use strip_db::update::Update;
 use strip_live::executor::LiveConfig;
-use strip_live::protocol::{read_msg, write_msg, Msg, WireUpdate};
+use strip_live::protocol::{
+    encode_batch_body, for_each_batch_update, read_msg, write_msg, FrameReader, Msg, WireUpdate,
+};
 use strip_live::server::serve;
+use strip_live::spsc;
 use strip_sim::time::SimTime;
 
 /// One single-sided rate measurement.
@@ -116,6 +125,317 @@ pub fn live_ingest(n_updates: usize, reps: usize) -> RateResult {
     }
 }
 
+/// A deterministic synthetic update for the layer benches: 2 classes ×
+/// 256 objects, monotonically increasing generations.
+fn synth_update(i: usize) -> WireUpdate {
+    WireUpdate {
+        class: (i % 2) as u8,
+        index: (i % 256) as u32,
+        generation_micros: i as i64 + 1,
+        payload: i as f64,
+        attr_mask: u64::MAX,
+    }
+}
+
+/// Updates/sec through the full live path when updates travel in
+/// `UpdateBatch` frames of up to `max_batch` under credit flow control —
+/// the batched twin of [`live_ingest`]. Same scaled-down cost model, same
+/// `StatsRequest` completion barrier, same conservation check at
+/// shutdown.
+///
+/// # Panics
+///
+/// Panics on socket errors or when the server miscounts the stream.
+#[must_use]
+pub fn live_ingest_batched(n_updates: usize, max_batch: usize, reps: usize) -> RateResult {
+    let max_batch = max_batch.clamp(1, strip_live::protocol::MAX_BATCH_UPDATES);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let sim = SimConfig::builder()
+            .n_low(256)
+            .n_high(256)
+            .lambda_u(0.0)
+            .lambda_t(0.0)
+            .duration(3_600.0)
+            .warmup(0.0)
+            .policy(Policy::UpdatesFirst)
+            .costs(CostModel {
+                ips: 50.0e9,
+                ..CostModel::default()
+            })
+            .build()
+            .expect("valid live-ingest config");
+        let cfg = LiveConfig::new(sim).expect("valid live config");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let handle = serve(&cfg, listener).expect("serve");
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+
+        let started = Instant::now();
+        write_msg(&mut stream, &Msg::CreditRequest).expect("credit request");
+        let mut credit = match read_msg(&mut stream).expect("initial grant") {
+            Some(Msg::Credit(g)) => g,
+            other => panic!("expected Credit, got {other:?}"),
+        };
+        let mut updates: Vec<WireUpdate> = Vec::with_capacity(max_batch);
+        let mut body = Vec::new();
+        let mut frame = Vec::new();
+        let mut sent = 0usize;
+        while sent < n_updates {
+            let k = max_batch.min(n_updates - sent);
+            while (credit as usize) < k {
+                match read_msg(&mut stream).expect("credit top-up") {
+                    Some(Msg::Credit(g)) => credit += g,
+                    other => panic!("expected Credit, got {other:?}"),
+                }
+            }
+            updates.clear();
+            updates.extend((sent..sent + k).map(synth_update));
+            encode_batch_body(&mut body, &updates).expect("batch within frame limit");
+            frame.clear();
+            frame.extend_from_slice(&u32::try_from(body.len()).expect("frame size").to_le_bytes());
+            frame.extend_from_slice(&body);
+            stream.write_all(&frame).expect("send batch frame");
+            credit -= k as u64;
+            sent += k;
+        }
+        write_msg(&mut stream, &Msg::StatsRequest).expect("send barrier");
+        let stats = loop {
+            match read_msg(&mut stream).expect("barrier reply") {
+                Some(Msg::Credit(_)) => {} // done sending; absorb top-ups
+                Some(Msg::StatsResponse(s)) => break s,
+                other => panic!("expected StatsResponse, got {other:?}"),
+            }
+        };
+        best = best.min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            stats.ingested, n_updates as u64,
+            "server must have ingested the whole batched stream"
+        );
+        drop(stream);
+        let report = handle.shutdown().expect("clean shutdown");
+        assert_eq!(report.updates.terminal_total(), report.updates.arrived);
+    }
+    RateResult {
+        name: "live/tcp_ingest_batched",
+        ops: n_updates as u64,
+        secs: best,
+    }
+}
+
+/// Layer 1 — syscall + framing: batch frames over loopback TCP into a
+/// [`FrameReader`], counting updates from the frame headers without
+/// decoding the entries. Prices `write`/`read` syscalls plus the
+/// reader's buffer management, isolated from decode and routing.
+///
+/// # Panics
+///
+/// Panics on socket errors or a miscounted stream.
+#[must_use]
+pub fn layer_syscall(n_updates: usize, batch: usize, reps: usize) -> RateResult {
+    let batch = batch.clamp(1, strip_live::protocol::MAX_BATCH_UPDATES);
+    let frames = n_updates.div_ceil(batch);
+    let total = frames * batch;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("listener addr");
+        let reader = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            conn.set_nodelay(true).expect("nodelay");
+            let mut fr = FrameReader::new();
+            let mut seen = 0usize;
+            while seen < total {
+                let body = fr
+                    .next_frame(&mut conn)
+                    .expect("read frame")
+                    .expect("stream ended early");
+                assert_eq!(body.first(), Some(&7u8), "expected an UpdateBatch frame");
+                let count =
+                    u32::from_le_bytes(body[1..5].try_into().expect("count field")) as usize;
+                seen += count;
+            }
+            seen
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        // One pre-encoded frame resent `frames` times: the layer prices
+        // transport, not encoding.
+        let updates: Vec<WireUpdate> = (0..batch).map(synth_update).collect();
+        let mut body = Vec::new();
+        encode_batch_body(&mut body, &updates).expect("batch within frame limit");
+        let mut frame_bytes =
+            Vec::from(u32::try_from(body.len()).expect("frame size").to_le_bytes());
+        frame_bytes.extend_from_slice(&body);
+
+        let started = Instant::now();
+        for _ in 0..frames {
+            stream.write_all(&frame_bytes).expect("send frame");
+        }
+        let seen = reader.join().expect("reader thread");
+        best = best.min(started.elapsed().as_secs_f64());
+        assert_eq!(seen, total, "reader must count every update sent");
+    }
+    RateResult {
+        name: "live/layer_syscall",
+        ops: total as u64,
+        secs: best,
+    }
+}
+
+/// Layer 2 — decode: repeatedly walks a pre-encoded `UpdateBatch` body
+/// with [`for_each_batch_update`], pricing the wire → [`WireUpdate`]
+/// conversion alone (no socket, no queues).
+///
+/// # Panics
+///
+/// Panics if the pre-encoded batch fails to decode.
+#[must_use]
+pub fn layer_decode(n_updates: usize, batch: usize, reps: usize) -> RateResult {
+    let batch = batch.clamp(1, strip_live::protocol::MAX_BATCH_UPDATES);
+    let passes = n_updates.div_ceil(batch);
+    let total = passes * batch;
+    let updates: Vec<WireUpdate> = (0..batch).map(synth_update).collect();
+    let mut body = Vec::new();
+    encode_batch_body(&mut body, &updates).expect("batch within frame limit");
+    let entries = &body[..];
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let mut decoded = 0usize;
+        for _ in 0..passes {
+            decoded += for_each_batch_update(black_box(entries), |w| {
+                black_box(w);
+            })
+            .expect("valid batch body");
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+        assert_eq!(decoded, total);
+    }
+    RateResult {
+        name: "live/layer_decode",
+        ops: total as u64,
+        secs: best,
+    }
+}
+
+/// Layer 3 — enqueue: cross-thread handoff of [`WireUpdate`]s through the
+/// lock-free SPSC ring at the same capacity the server uses, pricing the
+/// push/pop protocol (cache-line traffic included) with a real producer
+/// thread.
+///
+/// # Panics
+///
+/// Panics if the consumer misses updates.
+#[must_use]
+pub fn layer_enqueue(n_updates: usize, reps: usize) -> RateResult {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (mut p, mut c) = spsc::ring::<WireUpdate>(strip_live::server::RING_CAPACITY);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n_updates {
+                let mut v = synth_update(i);
+                loop {
+                    match p.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let started = Instant::now();
+        let mut got = 0usize;
+        while got < n_updates {
+            match c.pop() {
+                Some(w) => {
+                    black_box(w);
+                    got += 1;
+                }
+                None => std::hint::spin_loop(),
+            }
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+        producer.join().expect("producer thread");
+        assert!(c.pop().is_none(), "consumer must drain exactly n_updates");
+    }
+    RateResult {
+        name: "live/layer_enqueue",
+        ops: n_updates as u64,
+        secs: best,
+    }
+}
+
+/// Layer 4 — install: the executor's per-update database work, inlined —
+/// OS-queue delivery, staleness bookkeeping on receive, dequeue, store
+/// install, staleness bookkeeping on install. No sockets or threads;
+/// this is the floor the paper's policies schedule around.
+///
+/// # Panics
+///
+/// Panics if the synthetic stream stops installing.
+#[must_use]
+pub fn layer_install(n_updates: usize, reps: usize) -> RateResult {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = SimTime::ZERO;
+        let mut store = Store::new(256, 256, 0, start);
+        let mut os = OsQueue::new(1024);
+        let mut tracker = StalenessTracker::new(
+            StalenessSpec::MaxAge { alpha: 7.0 },
+            256,
+            256,
+            start,
+            |_| start,
+        );
+        let started = Instant::now();
+        let mut installed = 0u64;
+        for i in 0..n_updates {
+            let w = synth_update(i);
+            let object = ViewObjectId::new(
+                if w.class == 0 {
+                    Importance::Low
+                } else {
+                    Importance::High
+                },
+                w.index,
+            );
+            let now = SimTime::from_secs(i as f64 * 1e-7);
+            let update = Update {
+                seq: i as u64,
+                object,
+                generation_ts: SimTime::from_secs(w.generation_micros as f64 * 1e-6),
+                arrival_ts: now,
+                payload: w.payload,
+                attr_mask: w.attr_mask,
+            };
+            os.deliver(update);
+            tracker.on_receive(object, update.generation_ts, now);
+            let queued = os.receive().expect("just delivered");
+            if let strip_db::store::InstallOutcome::Installed {
+                new_version,
+                min_generation,
+            } = store.install(&queued)
+            {
+                black_box(tracker.on_install(object, min_generation, new_version, now));
+                installed += 1;
+            }
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            installed, n_updates as u64,
+            "monotone generations must always install"
+        );
+    }
+    RateResult {
+        name: "live/layer_install",
+        ops: n_updates as u64,
+        secs: best,
+    }
+}
+
 /// Decisions/sec through the clock-agnostic `strip_core::policy` hot path
 /// — the exact functions both the simulator's dispatch loop and the live
 /// executor call on every scheduling point.
@@ -171,6 +491,28 @@ mod tests {
         let r = live_ingest(200, 1);
         assert_eq!(r.ops, 200);
         assert!(r.secs > 0.0 && r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn batched_ingest_measures_a_real_stream() {
+        let r = live_ingest_batched(500, 64, 1);
+        assert_eq!(r.ops, 500);
+        assert!(r.secs > 0.0 && r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn layers_measure_and_count_exactly() {
+        let s = layer_syscall(300, 64, 1);
+        assert_eq!(s.ops, 320, "rounds up to whole frames");
+        let d = layer_decode(300, 64, 1);
+        assert_eq!(d.ops, 320);
+        let e = layer_enqueue(300, 1);
+        assert_eq!(e.ops, 300);
+        let i = layer_install(300, 1);
+        assert_eq!(i.ops, 300);
+        for r in [s, d, e, i] {
+            assert!(r.secs > 0.0 && r.ns_per_op() > 0.0, "{}", r.name);
+        }
     }
 
     #[test]

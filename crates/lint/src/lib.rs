@@ -287,6 +287,18 @@ mod tests {
         let r = rules_for("crates/live/src/executor.rs");
         assert!(r.contains(&RuleId::WallClock));
 
+        // The SPSC ingest ring is ordinary live-crate code: wall-clock
+        // and ordering rules apply in full, and its unsafe slot handoff
+        // must carry SAFETY comments (D4) — the ring's atomics are the
+        // only sanctioned ordering-sensitive code in the crate.
+        let r = rules_for("crates/live/src/spsc.rs");
+        assert!(r.contains(&RuleId::WallClock));
+        assert!(r.contains(&RuleId::NondeterministicOrder));
+        assert!(r.contains(&RuleId::AmbientEntropy));
+        assert!(r.contains(&RuleId::UndocumentedUnsafe));
+        assert!(!r.contains(&RuleId::PanickingIo));
+        assert!(!r.contains(&RuleId::RawF64Sum));
+
         let r = rules_for("src/lib.rs");
         assert!(r.contains(&RuleId::NondeterministicOrder));
 

@@ -8,17 +8,19 @@
 //! strip-loadgen [--addr 127.0.0.1:7411] [--lambda-u R] [--lambda-t R] \
 //!               [--duration SECS] [--n-low N] [--n-high N] \
 //!               [--mean-update-age S] [--compute-mean S] [--seed N] \
-//!               [--shutdown]
+//!               [--batch N] [--shutdown]
 //! ```
 //!
-//! With `--shutdown` the loadgen sends a shutdown frame after collecting
-//! the report, ending the server run.
+//! With `--batch N` updates travel in `UpdateBatch` frames of up to `N`
+//! updates under credit-based flow control (same seeded arrivals, far
+//! fewer syscalls); with `--shutdown` the loadgen sends a shutdown frame
+//! after collecting the report, ending the server run.
 
 use std::net::TcpStream;
 use std::process::ExitCode;
 
 use strip_core::config::SimConfig;
-use strip_live::loadgen::replay;
+use strip_live::loadgen::{replay, replay_batched};
 use strip_live::protocol::{write_msg, Msg};
 
 struct Args {
@@ -31,6 +33,7 @@ struct Args {
     mean_update_age: f64,
     compute_mean: f64,
     seed: u64,
+    batch: usize,
     shutdown: bool,
 }
 
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         mean_update_age: 0.5,
         compute_mean: 0.02,
         seed: 0x5712_1995,
+        batch: 0,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -57,7 +61,7 @@ fn parse_args() -> Result<Args, String> {
             return Err(
                 "usage: strip-loadgen [--addr A] [--lambda-u R] [--lambda-t R] \
                  [--duration S] [--n-low N] [--n-high N] [--mean-update-age S] \
-                 [--compute-mean S] [--seed N] [--shutdown]"
+                 [--compute-mean S] [--seed N] [--batch N] [--shutdown]"
                     .to_string(),
             );
         }
@@ -79,6 +83,11 @@ fn parse_args() -> Result<Args, String> {
             "--compute-mean" => args.compute_mean = num(&val)?,
             "--seed" => {
                 args.seed = val
+                    .parse()
+                    .map_err(|_| format!("invalid value `{val}` for {flag}"))?;
+            }
+            "--batch" => {
+                args.batch = val
                     .parse()
                     .map_err(|_| format!("invalid value `{val}` for {flag}"))?;
             }
@@ -114,7 +123,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let summary = match replay(&args.addr, &cfg) {
+    let result = if args.batch > 0 {
+        replay_batched(&args.addr, &cfg, args.batch)
+    } else {
+        replay(&args.addr, &cfg)
+    };
+    let summary = match result {
         Ok(s) => s,
         Err(e) => {
             eprintln!("replay against {}: {e}", args.addr);
@@ -123,9 +137,10 @@ fn main() -> ExitCode {
     };
     let s = &summary.stats;
     eprintln!(
-        "sent {} updates + {} txns in {:.3}s; server: ingested={} applied={} \
-         superseded={} shed={} queued={} committed={}/{}",
+        "sent {} updates ({} batch frames) + {} txns in {:.3}s; server: \
+         ingested={} applied={} superseded={} shed={} queued={} committed={}/{}",
         summary.sent_updates,
+        summary.sent_batches,
         summary.sent_txns,
         summary.elapsed,
         s.ingested,

@@ -39,6 +39,7 @@ use strip_sim::time::SimTime;
 
 use crate::clock::LiveClock;
 use crate::protocol::{WireQuery, WireQueryResponse, WireTxn, WireUpdate};
+use crate::spsc;
 
 /// `uu_stale` value in a [`WireQueryResponse`] for a query that named an
 /// object outside the configured store (0 = fresh, 1 = stale).
@@ -163,6 +164,11 @@ pub enum Ingest {
         /// Where to deliver the report.
         reply: SyncSender<RunReport>,
     },
+    /// Attach a lock-free update stream: the executor pops the ring on
+    /// every ingest drain. This is the batched fast path — updates flow
+    /// through the ring without ever touching the channel, which the
+    /// slower control messages keep using.
+    Stream(spsc::Consumer<WireUpdate>),
     /// Stop the run; the executor finalises metrics and returns.
     Shutdown,
 }
@@ -270,6 +276,9 @@ pub struct Executor {
     events: u64,
     shutdown: bool,
     rx: Receiver<Ingest>,
+    /// Lock-free ingest rings attached by [`Ingest::Stream`], one per
+    /// batching connection; popped on every ingest drain.
+    streams: Vec<spsc::Consumer<WireUpdate>>,
 }
 
 impl Executor {
@@ -355,6 +364,7 @@ impl Executor {
             events: 0,
             shutdown: false,
             rx,
+            streams: Vec::new(),
             cfg: sim,
         }
     }
@@ -380,6 +390,12 @@ impl Executor {
                 self.idle_wait();
             }
         }
+        // A shutdown can arrive while batched updates sit un-popped in
+        // the ingest rings; drain them into the OS queue so the final
+        // report's conservation identity accounts for every update a
+        // connection thread handed over before the stop.
+        let now = self.clock.now();
+        self.drain_streams(now);
         self.finalize()
     }
 
@@ -400,7 +416,34 @@ impl Executor {
                 }
             }
         }
+        update_arrived |= self.drain_streams(now);
         update_arrived
+    }
+
+    /// Pops every update currently queued in the attached lock-free
+    /// rings (bounded by a per-ring length snapshot, so a producer
+    /// pushing at full speed cannot pin the executor here) and drops
+    /// rings whose producer has disconnected and that are empty.
+    /// Returns true when at least one update was popped.
+    fn drain_streams(&mut self, now: SimTime) -> bool {
+        if self.streams.is_empty() {
+            return false;
+        }
+        let mut any = false;
+        // The rings move out of `self` for the duration of the drain so
+        // `accept_update` can borrow the rest of the executor mutably.
+        let mut streams = std::mem::take(&mut self.streams);
+        for c in &mut streams {
+            for _ in 0..c.len() {
+                let Some(w) = c.pop() else { break };
+                self.events += 1;
+                self.accept_update(&w, now);
+                any = true;
+            }
+        }
+        streams.retain(|c| !(c.is_closed() && c.is_empty()));
+        self.streams = streams;
+        any
     }
 
     /// Handles one ingest message; returns true when it was an update
@@ -422,6 +465,10 @@ impl Executor {
             }
             Ingest::Snapshot { reply } => {
                 let _ = reply.send(self.snapshot(now));
+                false
+            }
+            Ingest::Stream(consumer) => {
+                self.streams.push(consumer);
                 false
             }
             Ingest::Shutdown => {
@@ -562,9 +609,16 @@ impl Executor {
 
     /// Blocks on the ingest channel until a message, the next timer, or a
     /// 5 ms tick — whichever is first. Only reached when there is no work.
+    /// With lock-free streams attached the tick tightens to 200 µs: ring
+    /// pushes do not wake the channel, so the poll interval bounds the
+    /// ring's idle-side latency.
     fn idle_wait(&mut self) {
         let now = self.clock.now().as_secs();
-        let mut wait: f64 = 0.005;
+        let mut wait: f64 = if self.streams.is_empty() {
+            0.005
+        } else {
+            200e-6
+        };
         if let Some(at) = self.next_timer_at() {
             wait = wait.min((at - now).max(0.0));
         }
@@ -1178,6 +1232,31 @@ mod tests {
         tx.send(Ingest::Shutdown).expect("send shutdown");
         let report = exec.run();
         assert_eq!(report.updates.arrived, 8);
+        assert_eq!(report.updates.terminal_total(), report.updates.arrived);
+    }
+
+    #[test]
+    fn ring_streamed_updates_are_drained_and_conserved_at_shutdown() {
+        let cfg = LiveConfig::new(base_cfg()).expect("valid live config");
+        let (tx, rx) = mpsc::channel();
+        let exec = Executor::new(&cfg, rx);
+        let (mut prod, cons) = crate::spsc::ring(64);
+        for i in 0..10u32 {
+            prod.push(wire_update(
+                u8::from(i % 2 == 0),
+                i % 4,
+                1_000 * i64::from(i + 1),
+                f64::from(i),
+            ))
+            .expect("ring has room");
+        }
+        drop(prod);
+        // The shutdown is already queued behind the stream attach: the
+        // executor must still pop every ring entry before finalising.
+        tx.send(Ingest::Stream(cons)).expect("attach stream");
+        tx.send(Ingest::Shutdown).expect("send shutdown");
+        let report = exec.run();
+        assert_eq!(report.updates.arrived, 10);
         assert_eq!(report.updates.terminal_total(), report.updates.arrived);
     }
 

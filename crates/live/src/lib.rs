@@ -15,7 +15,11 @@
 //! * [`clock`] — the single wall-clock boundary ([`LiveClock`]); everything
 //!   above it speaks `SimTime`.
 //! * [`protocol`] — the length-prefixed binary wire format spoken over TCP
-//!   (updates, transactions, queries, stats and report requests).
+//!   (updates, transactions, queries, stats and report requests, plus
+//!   batched update frames with credit-based flow control).
+//! * [`spsc`] — the bounded lock-free single-producer/single-consumer
+//!   ring that hands batched updates from connection threads to the
+//!   executor without a lock on the hot path.
 //! * [`executor`] — the single-threaded scheduling core: quantum-chunked
 //!   CPU slices, UF/SU arrival preemption, firm-deadline watchdogs, MA
 //!   expiry timers, and the same [`strip_core::report::RunReport`] at the
@@ -36,9 +40,12 @@ pub mod executor;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod spsc;
 
 pub use clock::LiveClock;
 pub use executor::{Executor, Ingest, LiveConfig, LiveConfigError};
-pub use loadgen::{replay, LoadgenSummary};
-pub use protocol::{Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate};
+pub use loadgen::{replay, replay_batched, LoadgenSummary};
+pub use protocol::{
+    FrameReader, Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate,
+};
 pub use server::{serve, stats_from_report, ServerHandle};

@@ -17,7 +17,7 @@
 //! Generation ages (mean `a_update`, seconds) dwarf that skew; DESIGN.md
 //! §12 discusses the approximation.
 
-use std::io::{self};
+use std::io::{self, IoSlice, Write};
 use std::net::TcpStream;
 
 use strip_core::config::SimConfig;
@@ -26,16 +26,21 @@ use strip_core::txn::TxnSpec;
 use strip_workload::generators::{PoissonTxns, PoissonUpdates};
 
 use crate::clock::LiveClock;
-use crate::protocol::{read_msg, write_msg, Msg, WireStats, WireTxn, WireUpdate};
+use crate::protocol::{
+    encode_batch_body, read_msg, write_msg, Msg, WireStats, WireTxn, WireUpdate, MAX_BATCH_UPDATES,
+    UPDATE_ENTRY,
+};
 
 /// What a replay produced: client-side send counters plus the server's
 /// own aggregate counters and full JSON report.
 #[derive(Debug, Clone)]
 pub struct LoadgenSummary {
-    /// Update frames sent.
+    /// Updates sent (individually framed or inside batch frames).
     pub sent_updates: u64,
     /// Transaction frames sent.
     pub sent_txns: u64,
+    /// `UpdateBatch` frames sent (0 in unbatched mode).
+    pub sent_batches: u64,
     /// Wall-clock seconds the replay took.
     pub elapsed: f64,
     /// The server's aggregate counters after the replay.
@@ -78,6 +83,24 @@ impl Merged {
             txns,
             next_update,
             next_txn,
+        }
+    }
+
+    /// The arrival `next()` would return, as `(arrival seconds, is it an
+    /// update)` — the batcher peeks to decide whether to keep filling
+    /// the pending batch or flush it.
+    fn peek(&self) -> Option<(f64, bool)> {
+        match (&self.next_update, &self.next_txn) {
+            (None, None) => None,
+            (Some(u), None) => Some((u.arrival.as_secs(), true)),
+            (None, Some(t)) => Some((t.arrival.as_secs(), false)),
+            (Some(u), Some(t)) => {
+                if u.arrival <= t.arrival {
+                    Some((u.arrival.as_secs(), true))
+                } else {
+                    Some((t.arrival.as_secs(), false))
+                }
+            }
         }
     }
 
@@ -187,6 +210,187 @@ pub fn replay(addr: &str, cfg: &SimConfig) -> io::Result<LoadgenSummary> {
     Ok(LoadgenSummary {
         sent_updates,
         sent_txns,
+        sent_batches: 0,
+        elapsed: clock.now().as_secs(),
+        stats,
+        report_json,
+    })
+}
+
+/// Client-side state of one batched replay connection: the pending
+/// batch, its reusable encode buffer, and the credit window.
+struct Batcher {
+    pending: Vec<WireUpdate>,
+    body: Vec<u8>,
+    /// Updates the server has granted permission for but we have not yet
+    /// sent (cumulative grants minus cumulative batched sends).
+    credit: u64,
+    sent_batches: u64,
+}
+
+impl Batcher {
+    fn new(max_batch: usize) -> Batcher {
+        Batcher {
+            pending: Vec::with_capacity(max_batch),
+            body: Vec::with_capacity(5 + max_batch * UPDATE_ENTRY),
+            credit: 0,
+            sent_batches: 0,
+        }
+    }
+
+    /// Sends the whole pending batch, splitting it into chunks the
+    /// credit window allows and blocking on [`Msg::Credit`] grants when
+    /// the window is exhausted. Blocking is deadlock-free: with zero
+    /// credit left the server sees `granted == received` and its
+    /// starvation guard grants as soon as the executor frees window.
+    fn flush(&mut self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut sent = 0;
+        while sent < self.pending.len() {
+            if self.credit == 0 {
+                match read_msg(stream)? {
+                    Some(Msg::Credit(g)) => self.credit += g,
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("expected Credit, got {other:?}"),
+                        ))
+                    }
+                }
+                continue;
+            }
+            let n = (self.pending.len() - sent).min(self.credit as usize);
+            let chunk = &self.pending[sent..sent + n];
+            encode_batch_body(&mut self.body, chunk).map_err(io::Error::from)?;
+            write_frame_vectored(stream, &self.body)?;
+            self.credit -= n as u64;
+            self.sent_batches += 1;
+            sent += n;
+        }
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Reads the next non-`Credit` message, folding any credit grants
+    /// that accumulated in the socket into the window.
+    fn read_response(&mut self, stream: &mut TcpStream) -> io::Result<Option<Msg>> {
+        loop {
+            match read_msg(stream)? {
+                Some(Msg::Credit(g)) => self.credit += g,
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+/// Writes one frame with a vectored write — length prefix and body leave
+/// in a single syscall when the socket accepts both iovecs at once.
+fn write_frame_vectored(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    let len = (body.len() as u32).to_le_bytes();
+    let total = len.len() + body.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < len.len() {
+            stream.write_vectored(&[IoSlice::new(&len[written..]), IoSlice::new(body)])?
+        } else {
+            stream.write(&body[written - len.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "socket accepted zero bytes of a frame",
+            ));
+        }
+        written += n;
+    }
+    Ok(())
+}
+
+/// Replays `cfg`'s workload like [`replay`], but carries updates in
+/// [`Msg::UpdateBatch`] frames of up to `max_batch` updates (clamped to
+/// [`MAX_BATCH_UPDATES`]) under the credit-based flow control of
+/// DESIGN.md §13. Pacing is per *arrival*, not per frame: a batch frame
+/// carries exactly the updates that are already due when it is sent, so
+/// the offered load keeps the same seeded Poisson timing as the
+/// unbatched replay and sim/live decision parity is preserved.
+///
+/// # Errors
+///
+/// Propagates connection and protocol I/O errors, and `InvalidData` when
+/// the server answers with an unexpected message type.
+pub fn replay_batched(addr: &str, cfg: &SimConfig, max_batch: usize) -> io::Result<LoadgenSummary> {
+    let max_batch = max_batch.clamp(1, MAX_BATCH_UPDATES);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut batcher = Batcher::new(max_batch);
+    // Opt into flow control before offering load.
+    write_msg(&mut stream, &Msg::CreditRequest)?;
+    match read_msg(&mut stream)? {
+        Some(Msg::Credit(g)) => batcher.credit += g,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected initial Credit, got {other:?}"),
+            ))
+        }
+    }
+    let clock = LiveClock::start();
+    let mut merged = Merged::new(cfg);
+    let mut sent_updates = 0u64;
+    let mut sent_txns = 0u64;
+    while let Some(arrival) = merged.next() {
+        match arrival {
+            Arrival::Update(u) => {
+                if batcher.pending.is_empty() {
+                    pace_until(&clock, u.arrival.as_secs());
+                }
+                batcher.pending.push(wire_update(&u));
+                sent_updates += 1;
+                // Keep filling while the batch has room and the next
+                // arrival is an update that is already due.
+                let full = batcher.pending.len() >= max_batch;
+                let next_due_update = matches!(
+                    merged.peek(),
+                    Some((at, true)) if at <= clock.now().as_secs()
+                );
+                if full || !next_due_update {
+                    batcher.flush(&mut stream)?;
+                }
+            }
+            Arrival::Txn(t) => {
+                batcher.flush(&mut stream)?;
+                pace_until(&clock, t.arrival.as_secs());
+                write_msg(&mut stream, &Msg::Txn(wire_txn(&t)))?;
+                sent_txns += 1;
+            }
+        }
+    }
+    batcher.flush(&mut stream)?;
+    // Let the horizon pass before sampling the server.
+    pace_until(&clock, cfg.duration);
+    write_msg(&mut stream, &Msg::StatsRequest)?;
+    let stats = match batcher.read_response(&mut stream)? {
+        Some(Msg::StatsResponse(s)) => s,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected StatsResponse, got {other:?}"),
+            ))
+        }
+    };
+    write_msg(&mut stream, &Msg::ReportRequest)?;
+    let report_json = match batcher.read_response(&mut stream)? {
+        Some(Msg::ReportJson(j)) => j,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected ReportJson, got {other:?}"),
+            ))
+        }
+    };
+    Ok(LoadgenSummary {
+        sent_updates,
+        sent_txns,
+        sent_batches: batcher.sent_batches,
         elapsed: clock.now().as_secs(),
         stats,
         report_json,

@@ -8,9 +8,17 @@
 //! start (the external source stamped them), so the sign matters.
 //!
 //! Client → server: [`Msg::Update`], [`Msg::Txn`], [`Msg::Query`],
-//! [`Msg::StatsRequest`], [`Msg::ReportRequest`], [`Msg::Shutdown`].
+//! [`Msg::StatsRequest`], [`Msg::ReportRequest`], [`Msg::Shutdown`],
+//! [`Msg::UpdateBatch`], [`Msg::CreditRequest`].
 //! Server → client: [`Msg::QueryResponse`], [`Msg::StatsResponse`],
-//! [`Msg::ReportJson`].
+//! [`Msg::ReportJson`], [`Msg::Credit`].
+//!
+//! The batched ingest path (DESIGN.md §13) amortises the per-frame
+//! syscall and length-prefix overhead: an [`Msg::UpdateBatch`] carries up
+//! to [`MAX_BATCH_UPDATES`] updates in one frame, and the opt-in credit
+//! protocol ([`Msg::CreditRequest`] / [`Msg::Credit`]) bounds how many
+//! un-acknowledged updates a sender may have in flight so the server's
+//! lock-free ingest ring never overruns.
 //!
 //! Decoding is strict: unknown tags, short payloads, trailing bytes and
 //! oversized frames are all errors ([`ProtoError`]) — a protocol slip
@@ -32,6 +40,18 @@ const READ_ENTRY: usize = 5;
 
 /// Largest read set a transaction frame can carry within [`MAX_FRAME`].
 pub const MAX_TXN_READS: usize = (MAX_FRAME - TXN_FIXED) / READ_ENTRY;
+
+/// Bytes per update inside an [`Msg::UpdateBatch`] body: class + index +
+/// generation + payload + attr_mask (the [`Msg::Update`] payload without
+/// its tag byte).
+pub const UPDATE_ENTRY: usize = 1 + 4 + 8 + 8 + 8;
+
+/// Fixed-size prefix of an update-batch body: tag + update count.
+const BATCH_FIXED: usize = 1 + 4;
+
+/// Largest update count an [`Msg::UpdateBatch`] frame can carry within
+/// [`MAX_FRAME`].
+pub const MAX_BATCH_UPDATES: usize = (MAX_FRAME - BATCH_FIXED) / UPDATE_ENTRY;
 
 /// An update delivered by the external stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,12 +162,23 @@ pub enum Msg {
     ReportRequest,
     /// Client → server: stop the executor and finalise the run (tag 6).
     Shutdown,
+    /// Client → server: many updates in one frame (tag 7). At most
+    /// [`MAX_BATCH_UPDATES`] per frame; the encoder refuses more.
+    UpdateBatch(Vec<WireUpdate>),
+    /// Client → server: opt in to credit-based flow control (tag 8). The
+    /// server answers with an initial [`Msg::Credit`] grant and tops the
+    /// window up as its ingest ring drains; after opting in the client
+    /// must not have more un-granted updates in flight than its credit.
+    CreditRequest,
     /// Server → client: answer to a query (tag 33).
     QueryResponse(WireQueryResponse),
     /// Server → client: aggregate counters (tag 34).
     StatsResponse(WireStats),
     /// Server → client: a full `RunReport` as JSON (tag 35).
     ReportJson(String),
+    /// Server → client: grants the client permission to send this many
+    /// further updates (tag 36). Grants are cumulative.
+    Credit(u64),
 }
 
 /// A malformed frame.
@@ -208,6 +239,14 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+fn put_update(out: &mut Vec<u8>, u: &WireUpdate) {
+    out.push(u.class);
+    put_u32(out, u.index);
+    put_i64(out, u.generation_micros);
+    put_f64(out, u.payload);
+    put_u64(out, u.attr_mask);
+}
+
 impl Msg {
     /// Tag byte identifying this message kind on the wire.
     #[must_use]
@@ -219,9 +258,12 @@ impl Msg {
             Msg::StatsRequest => 4,
             Msg::ReportRequest => 5,
             Msg::Shutdown => 6,
+            Msg::UpdateBatch(_) => 7,
+            Msg::CreditRequest => 8,
             Msg::QueryResponse(_) => 33,
             Msg::StatsResponse(_) => 34,
             Msg::ReportJson(_) => 35,
+            Msg::Credit(_) => 36,
         }
     }
 
@@ -231,13 +273,7 @@ impl Msg {
         let mut out = Vec::with_capacity(64);
         out.push(self.tag());
         match self {
-            Msg::Update(u) => {
-                out.push(u.class);
-                put_u32(&mut out, u.index);
-                put_i64(&mut out, u.generation_micros);
-                put_f64(&mut out, u.payload);
-                put_u64(&mut out, u.attr_mask);
-            }
+            Msg::Update(u) => put_update(&mut out, u),
             Msg::Txn(t) => {
                 put_u64(&mut out, t.id);
                 out.push(t.class);
@@ -254,7 +290,15 @@ impl Msg {
                 out.push(q.class);
                 put_u32(&mut out, q.index);
             }
-            Msg::StatsRequest | Msg::ReportRequest | Msg::Shutdown => {}
+            Msg::StatsRequest | Msg::ReportRequest | Msg::Shutdown | Msg::CreditRequest => {}
+            Msg::UpdateBatch(updates) => {
+                out.reserve(4 + updates.len() * UPDATE_ENTRY);
+                put_u32(&mut out, updates.len() as u32);
+                for u in updates {
+                    put_update(&mut out, u);
+                }
+            }
+            Msg::Credit(n) => put_u64(&mut out, *n),
             Msg::QueryResponse(r) => {
                 put_f64(&mut out, r.payload);
                 put_i64(&mut out, r.generation_micros);
@@ -343,6 +387,16 @@ impl<'a> Cursor<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    fn update(&mut self) -> Result<WireUpdate, ProtoError> {
+        Ok(WireUpdate {
+            class: self.class()?,
+            index: self.u32()?,
+            generation_micros: self.i64()?,
+            payload: self.f64()?,
+            attr_mask: self.u64()?,
+        })
+    }
+
     fn finish(self, msg: Msg) -> Result<Msg, ProtoError> {
         let left = self.buf.len() - self.pos;
         if left != 0 {
@@ -366,13 +420,7 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
     let tag = c.u8()?;
     match tag {
         1 => {
-            let msg = Msg::Update(WireUpdate {
-                class: c.class()?,
-                index: c.u32()?,
-                generation_micros: c.i64()?,
-                payload: c.f64()?,
-                attr_mask: c.u64()?,
-            });
+            let msg = Msg::Update(c.update()?);
             c.finish(msg)
         }
         2 => {
@@ -410,6 +458,18 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
         4 => c.finish(Msg::StatsRequest),
         5 => c.finish(Msg::ReportRequest),
         6 => c.finish(Msg::Shutdown),
+        7 => {
+            let n = c.u32()? as usize;
+            if n > MAX_BATCH_UPDATES {
+                return Err(ProtoError::TooLarge(BATCH_FIXED + n * UPDATE_ENTRY));
+            }
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                updates.push(c.update()?);
+            }
+            c.finish(Msg::UpdateBatch(updates))
+        }
+        8 => c.finish(Msg::CreditRequest),
         33 => {
             let msg = Msg::QueryResponse(WireQueryResponse {
                 payload: c.f64()?,
@@ -445,8 +505,71 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
                 .to_string();
             c.finish(Msg::ReportJson(json))
         }
+        36 => {
+            let n = c.u64()?;
+            c.finish(Msg::Credit(n))
+        }
         t => Err(ProtoError::BadTag(t)),
     }
+}
+
+/// Encodes an [`Msg::UpdateBatch`] body (tag byte included) into `out`,
+/// reusing `out`'s allocation — the sender's steady state allocates
+/// nothing. The counterpart of [`for_each_batch_update`].
+///
+/// # Errors
+///
+/// [`ProtoError::TooLarge`] when `updates` exceeds [`MAX_BATCH_UPDATES`]
+/// (the frame would exceed [`MAX_FRAME`]; a peer would refuse it).
+pub fn encode_batch_body(out: &mut Vec<u8>, updates: &[WireUpdate]) -> Result<(), ProtoError> {
+    if updates.len() > MAX_BATCH_UPDATES {
+        return Err(ProtoError::TooLarge(
+            BATCH_FIXED + updates.len() * UPDATE_ENTRY,
+        ));
+    }
+    out.clear();
+    out.reserve(BATCH_FIXED + updates.len() * UPDATE_ENTRY);
+    out.push(7);
+    put_u32(out, updates.len() as u32);
+    for u in updates {
+        put_update(out, u);
+    }
+    Ok(())
+}
+
+/// Decodes an [`Msg::UpdateBatch`] body (tag byte included) without
+/// allocating, invoking `f` once per update in wire order. This is the
+/// server's ingest fast path: updates go straight from the receive buffer
+/// into the SPSC ring with no intermediate `Vec`.
+///
+/// Returns the number of updates decoded.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] when the body is not a well-formed batch frame
+/// (wrong tag, truncated or trailing payload, bad class, count past
+/// [`MAX_BATCH_UPDATES`]).
+pub fn for_each_batch_update(
+    body: &[u8],
+    mut f: impl FnMut(WireUpdate),
+) -> Result<usize, ProtoError> {
+    let mut c = Cursor { buf: body, pos: 0 };
+    let tag = c.u8()?;
+    if tag != 7 {
+        return Err(ProtoError::BadTag(tag));
+    }
+    let n = c.u32()? as usize;
+    if n > MAX_BATCH_UPDATES {
+        return Err(ProtoError::TooLarge(BATCH_FIXED + n * UPDATE_ENTRY));
+    }
+    for _ in 0..n {
+        f(c.update()?);
+    }
+    let left = body.len() - c.pos;
+    if left != 0 {
+        return Err(ProtoError::Trailing(left));
+    }
+    Ok(n)
 }
 
 // ---------------------------------------------------------------------------
@@ -493,6 +616,133 @@ pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
     match read_frame(r)? {
         Some(body) => Ok(Some(decode_body(&body)?)),
         None => Ok(None),
+    }
+}
+
+/// Buffered frame extractor: reads from the socket in large chunks and
+/// hands out frame bodies as subslices of an internal reusable buffer.
+///
+/// [`read_frame`] costs at least two `read` syscalls per frame (prefix,
+/// body) plus a fresh `Vec` allocation; at batched rates that syscall
+/// and allocator traffic dominates. `FrameReader` instead fills a single
+/// growable buffer — one syscall can deliver dozens of frames — and
+/// yields each body as a borrowed slice, so the steady state performs
+/// zero allocation. The buffer grows lazily up to `MAX_FRAME + 4` and
+/// compacts a partial frame to the front before refilling.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// First unconsumed byte in `buf`.
+    start: usize,
+    /// One past the last filled byte in `buf`.
+    end: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// Default chunk size: large enough that a full-speed loadgen batch
+    /// frame usually arrives in one or two `read` calls.
+    const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a reader with the default buffer capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a reader with an explicit initial buffer capacity (still
+    /// grows on demand up to `MAX_FRAME + 4`).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        FrameReader {
+            buf: vec![0; capacity.clamp(8, MAX_FRAME + 4)],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Returns the next complete frame body, reading from `r` only when
+    /// the buffer does not already hold one. `Ok(None)` on a clean EOF
+    /// at a frame boundary. The returned slice is valid until the next
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors pass through; an EOF inside a frame or a length prefix
+    /// past [`MAX_FRAME`] becomes `InvalidData`/`UnexpectedEof`.
+    pub fn next_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<&[u8]>> {
+        let (body_start, len) = loop {
+            if let Some(span) = self.peek_frame()? {
+                break span;
+            }
+            if !self.refill(r)? {
+                if self.start == self.end {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame",
+                ));
+            }
+        };
+        self.start = body_start + len;
+        Ok(Some(&self.buf[body_start..body_start + len]))
+    }
+
+    /// Locates a complete buffered frame without consuming it, as
+    /// `(body offset, body length)`.
+    fn peek_frame(&self) -> io::Result<Option<(usize, usize)>> {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len =
+            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::TooLarge(len).into());
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        Ok(Some((self.start + 4, len)))
+    }
+
+    /// Performs one `read` into the buffer, compacting/growing first so
+    /// there is always room to make progress. Returns false on EOF.
+    fn refill<R: Read>(&mut self, r: &mut R) -> io::Result<bool> {
+        if self.start == self.end {
+            // Nothing buffered: restart at the front, no copy needed.
+            self.start = 0;
+            self.end = 0;
+        }
+        let avail = self.end - self.start;
+        // Room needed for the frame currently being assembled (4 bytes
+        // until its length prefix is complete).
+        let needed = if avail >= 4 {
+            let len = u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap())
+                as usize;
+            4 + len.min(MAX_FRAME)
+        } else {
+            4
+        };
+        if self.buf.len() - self.start < needed || self.end == self.buf.len() {
+            // Slide the partial frame to the front.
+            self.buf.copy_within(self.start..self.end, 0);
+            self.start = 0;
+            self.end = avail;
+        }
+        if self.buf.len() < needed {
+            let new_len = needed.next_power_of_two().min(MAX_FRAME + 4).max(needed);
+            self.buf.resize(new_len, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n > 0)
     }
 }
 
@@ -645,5 +895,122 @@ mod tests {
         let mut r = &wire[..];
         let err = read_frame(&mut r).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    fn batch_of(n: usize) -> Vec<WireUpdate> {
+        (0..n)
+            .map(|i| WireUpdate {
+                class: (i % 2) as u8,
+                index: i as u32,
+                generation_micros: i as i64 - 5,
+                payload: i as f64 * 0.5,
+                attr_mask: u64::MAX,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn update_batch_round_trips() {
+        for n in [0, 1, 3, 100] {
+            let msg = Msg::UpdateBatch(batch_of(n));
+            assert_eq!(decode_body(&msg.encode_body()), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn credit_messages_round_trip() {
+        for msg in [Msg::CreditRequest, Msg::Credit(0), Msg::Credit(u64::MAX)] {
+            assert_eq!(decode_body(&msg.encode_body()), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn batch_count_past_cap_is_rejected_by_the_decoder() {
+        let mut body = Msg::UpdateBatch(Vec::new()).encode_body();
+        body[1..5].copy_from_slice(&(MAX_BATCH_UPDATES as u32 + 1).to_le_bytes());
+        assert!(matches!(decode_body(&body), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn for_each_batch_update_matches_the_allocating_decoder() {
+        let updates = batch_of(17);
+        let body = Msg::UpdateBatch(updates.clone()).encode_body();
+        let mut seen = Vec::new();
+        let n = for_each_batch_update(&body, |u| seen.push(u)).unwrap();
+        assert_eq!(n, 17);
+        assert_eq!(seen, updates);
+
+        // Wrong tag, trailing byte and truncation are all rejected.
+        let update_body = Msg::Update(updates[0]).encode_body();
+        assert!(matches!(
+            for_each_batch_update(&update_body, |_| {}),
+            Err(ProtoError::BadTag(1))
+        ));
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(matches!(
+            for_each_batch_update(&trailing, |_| {}),
+            Err(ProtoError::Trailing(1))
+        ));
+        assert!(matches!(
+            for_each_batch_update(&body[..body.len() - 1], |_| {}),
+            Err(ProtoError::Truncated)
+        ));
+    }
+
+    /// A reader that hands out at most `chunk` bytes per `read` call, to
+    /// exercise `FrameReader`'s partial-frame compaction paths.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        chunk: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = self.chunk.min(out.len()).min(self.data.len());
+            out[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_extracts_every_frame_at_any_chunk_size() {
+        let msgs = [
+            Msg::UpdateBatch(batch_of(40)),
+            Msg::Update(batch_of(1)[0]),
+            Msg::StatsRequest,
+            Msg::UpdateBatch(batch_of(0)),
+            Msg::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_msg(&mut wire, m).unwrap();
+        }
+        for chunk in [1, 3, 7, 64, wire.len()] {
+            // A tiny initial buffer forces growth and compaction.
+            let mut fr = FrameReader::with_capacity(8);
+            let mut r = Chunked { data: &wire, chunk };
+            for m in &msgs {
+                let body = fr
+                    .next_frame(&mut r)
+                    .unwrap()
+                    .expect("frame present")
+                    .to_vec();
+                assert_eq!(decode_body(&body), Ok(m.clone()), "chunk={chunk}");
+            }
+            assert!(fr.next_frame(&mut r).unwrap().is_none(), "clean EOF");
+        }
+    }
+
+    #[test]
+    fn frame_reader_rejects_eof_inside_a_frame() {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &Msg::StatsRequest).unwrap();
+        let cut = &wire[..wire.len() - 1];
+        let mut fr = FrameReader::new();
+        let mut r = cut;
+        let err = fr.next_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

@@ -22,7 +22,26 @@ use strip_core::report::RunReport;
 use strip_obs::PromText;
 
 use crate::executor::{Executor, Ingest, LiveConfig};
-use crate::protocol::{read_msg, write_msg, Msg, WireStats};
+use crate::protocol::{
+    decode_body, for_each_batch_update, write_msg, FrameReader, Msg, WireStats, WireUpdate,
+};
+use crate::spsc;
+
+/// Capacity of each connection's lock-free ingest ring. Must be at least
+/// [`crate::protocol::MAX_BATCH_UPDATES`] so a full window of credit
+/// (one ring's worth) always admits the largest legal batch frame
+/// without the producer blocking mid-frame.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// Credit top-ups are withheld until at least this much window can be
+/// granted, so the grant traffic stays a small fraction of the update
+/// traffic (one Credit frame per half-ring of updates).
+const CREDIT_LOW_WATER: u64 = (RING_CAPACITY / 2) as u64;
+
+const _: () = assert!(
+    RING_CAPACITY >= crate::protocol::MAX_BATCH_UPDATES,
+    "a credit window of one ring must fit the largest legal batch frame"
+);
 
 /// A running live server: the executor thread, the accept loop, and a
 /// handle to the shared ingest channel.
@@ -131,6 +150,103 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<Ingest>, stop: &Arc<AtomicBoo
     }
 }
 
+/// Per-connection state of the batched ingest path: the ring producer
+/// plus the cumulative counters of the credit protocol.
+struct BatchState {
+    producer: spsc::Producer<WireUpdate>,
+    /// Updates this connection has pushed into the ring (batch frames).
+    received: u64,
+    /// Cumulative credit granted; stays 0 until a `CreditRequest` opts in.
+    granted: u64,
+    /// Whether the client opted into credit-based flow control.
+    credited: bool,
+}
+
+impl BatchState {
+    /// Creates the ring and hands its consumer half to the executor.
+    fn attach(tx: &Sender<Ingest>) -> Option<BatchState> {
+        let (producer, consumer) = spsc::ring(RING_CAPACITY);
+        tx.send(Ingest::Stream(consumer)).ok()?;
+        Some(BatchState {
+            producer,
+            received: 0,
+            granted: 0,
+            credited: false,
+        })
+    }
+
+    /// Pushes one update, spinning (with a stop check) while the ring is
+    /// full. Credited clients never trip the full case — the grant
+    /// invariant `granted - consumed <= capacity` keeps a slot free for
+    /// every credited update — so the spin only serves uncredited
+    /// senders. Returns false when a server stop aborted the wait.
+    fn push(&mut self, update: WireUpdate, stop: &AtomicBool) -> bool {
+        self.received += 1;
+        let mut v = update;
+        loop {
+            match self.producer.push(v) {
+                Ok(()) => return true,
+                Err(back) => {
+                    if stop.load(Ordering::Acquire) {
+                        return false;
+                    }
+                    v = back;
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Window the server can grant right now without risking a ring
+    /// overrun: capacity minus credit already granted but not yet
+    /// consumed by the executor.
+    fn grantable(&self) -> u64 {
+        RING_CAPACITY as u64 - (self.granted - self.producer.consumed().min(self.granted))
+    }
+
+    /// Tops the client's credit window up. Normally a grant is only
+    /// worth a frame once `CREDIT_LOW_WATER` has freed up; but when the
+    /// client is provably out of credit (`granted == received` and the
+    /// stream would stall) this *must* grant as soon as anything is
+    /// consumable, spinning until the executor frees window — the
+    /// executor is always draining, so the wait terminates.
+    fn top_up(&mut self, stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<()> {
+        if !self.credited {
+            return Ok(());
+        }
+        let mut grantable = self.grantable();
+        while grantable < CREDIT_LOW_WATER {
+            let starved = self.granted == self.received;
+            if !starved {
+                return Ok(()); // client still has window; grant later
+            }
+            if grantable > 0 {
+                break; // starved: grant whatever freed up, now
+            }
+            if stop.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            thread::yield_now();
+            grantable = self.grantable();
+        }
+        self.granted += grantable;
+        write_msg(stream, &Msg::Credit(grantable))
+    }
+
+    /// Blocks until the executor has popped everything this connection
+    /// pushed, so control frames (stats, report, query, shutdown) sent
+    /// after a batch observe all of its updates — the same ordering the
+    /// channel gave unbatched sessions for free.
+    fn flush(&self, stop: &AtomicBool) {
+        while !self.producer.is_drained() {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            thread::yield_now();
+        }
+    }
+}
+
 /// Serves one connection: either a binary protocol session or, when the
 /// first bytes spell an HTTP GET, one `/metrics` scrape.
 fn handle_conn(
@@ -152,17 +268,73 @@ fn handle_conn(
     if first == *b"GET " {
         return serve_metrics(&mut stream, tx);
     }
+    let mut frames = FrameReader::new();
+    let mut batch: Option<BatchState> = None;
     loop {
-        let msg = match read_msg(&mut stream) {
-            Ok(Some(m)) => m,
-            Ok(None) => return Ok(()), // clean EOF
-            Err(e) => return Err(e),
+        let Some(body) = frames.next_frame(&mut stream)? else {
+            return Ok(()); // clean EOF
         };
+        // Fast path: batch frames decode straight out of the receive
+        // buffer into the lock-free ring — no `Vec<WireUpdate>`, no
+        // channel, no per-update syscall.
+        if body.first() == Some(&7) {
+            if batch.is_none() {
+                batch = BatchState::attach(tx);
+                if batch.is_none() {
+                    return Ok(()); // executor gone
+                }
+            }
+            let state = batch.as_mut().expect("batch state attached");
+            let mut aborted = false;
+            for_each_batch_update(body, |w| {
+                if !aborted {
+                    aborted = !state.push(w, stop);
+                }
+            })
+            .map_err(io::Error::from)?;
+            if aborted {
+                return Ok(()); // server stopping; drop the remainder
+            }
+            state.top_up(&mut stream, stop)?;
+            continue;
+        }
+        let msg = decode_body(body).map_err(io::Error::from)?;
         match msg {
             Msg::Update(w) => {
                 if tx.send(Ingest::Update(w)).is_err() {
                     return Ok(());
                 }
+            }
+            // Only reachable if the fast path above stops intercepting
+            // tag 7; keeps the slow path semantically complete.
+            Msg::UpdateBatch(updates) => {
+                if batch.is_none() {
+                    batch = BatchState::attach(tx);
+                    if batch.is_none() {
+                        return Ok(());
+                    }
+                }
+                let state = batch.as_mut().expect("batch state attached");
+                for w in updates {
+                    if !state.push(w, stop) {
+                        return Ok(());
+                    }
+                }
+                state.top_up(&mut stream, stop)?;
+            }
+            Msg::CreditRequest => {
+                if batch.is_none() {
+                    batch = BatchState::attach(tx);
+                    if batch.is_none() {
+                        return Ok(());
+                    }
+                }
+                let state = batch.as_mut().expect("batch state attached");
+                state.credited = true;
+                // Initial grant: one full ring of window.
+                let grant = state.grantable();
+                state.granted += grant;
+                write_msg(&mut stream, &Msg::Credit(grant))?;
             }
             Msg::Txn(w) => {
                 if tx.send(Ingest::Txn(w)).is_err() {
@@ -170,6 +342,9 @@ fn handle_conn(
                 }
             }
             Msg::Query(q) => {
+                if let Some(state) = &batch {
+                    state.flush(stop);
+                }
                 let (qtx, qrx) = mpsc::sync_channel(1);
                 if tx.send(Ingest::Query { q, reply: qtx }).is_err() {
                     return Ok(());
@@ -180,19 +355,31 @@ fn handle_conn(
                 write_msg(&mut stream, &Msg::QueryResponse(resp))?;
             }
             Msg::StatsRequest => {
+                if let Some(state) = &batch {
+                    state.flush(stop);
+                }
                 let report = request_snapshot(tx)?;
                 write_msg(&mut stream, &Msg::StatsResponse(stats_from_report(&report)))?;
             }
             Msg::ReportRequest => {
+                if let Some(state) = &batch {
+                    state.flush(stop);
+                }
                 let report = request_snapshot(tx)?;
                 write_msg(&mut stream, &Msg::ReportJson(report.to_json()))?;
             }
             Msg::Shutdown => {
+                // Drain this connection's ring before stopping so the
+                // final report counts every update batched ahead of the
+                // shutdown frame (update-count conservation).
+                if let Some(state) = &batch {
+                    state.flush(stop);
+                }
                 let _ = tx.send(Ingest::Shutdown);
                 stop.store(true, Ordering::Release);
                 return Ok(());
             }
-            Msg::QueryResponse(_) | Msg::StatsResponse(_) | Msg::ReportJson(_) => {
+            Msg::QueryResponse(_) | Msg::StatsResponse(_) | Msg::ReportJson(_) | Msg::Credit(_) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "server-to-client message received by server",

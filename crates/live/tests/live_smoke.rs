@@ -8,7 +8,7 @@ use std::net::{TcpListener, TcpStream};
 use strip_core::config::{Policy, SimConfig};
 use strip_live::executor::LiveConfig;
 use strip_live::protocol::{read_msg, write_msg, Msg, WireQuery, WireTxn, WireUpdate};
-use strip_live::server::serve;
+use strip_live::server::{serve, RING_CAPACITY};
 
 fn live_cfg(policy: Policy) -> LiveConfig {
     let sim = SimConfig::builder()
@@ -110,6 +110,86 @@ fn tcp_updates_are_conserved_and_queries_answered() {
         report.updates.terminal_total(),
         report.updates.arrived,
         "ingested == applied + shed + discarded + queued must hold at exit"
+    );
+}
+
+/// The batched twin of the conservation test: updates travel in
+/// `UpdateBatch` frames under credit flow control, a shutdown arrives
+/// right behind the last batch, and the final report must still account
+/// for every update (the executor drains the ingest ring before
+/// finalising).
+#[test]
+fn batched_updates_are_conserved_through_shutdown() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let handle = serve(&live_cfg(Policy::UpdatesFirst), listener).expect("serve");
+    let mut stream = connect(handle.addr());
+
+    // Opt into flow control; the initial grant is one full ring.
+    write_msg(&mut stream, &Msg::CreditRequest).expect("credit request");
+    let mut credit = match read_msg(&mut stream).expect("credit reply") {
+        Some(Msg::Credit(g)) => g,
+        other => panic!("expected Credit, got {other:?}"),
+    };
+    assert_eq!(credit as usize, RING_CAPACITY, "initial window is one ring");
+
+    // Several batches, including an empty one (legal, a no-op).
+    let batches: [u32; 4] = [5, 0, 17, 3];
+    let mut sent = 0u64;
+    for (b, n) in batches.iter().enumerate() {
+        let updates: Vec<WireUpdate> = (0..*n)
+            .map(|i| WireUpdate {
+                class: (i % 2) as u8,
+                index: i % 8,
+                generation_micros: 1_000 * (i64::from(i) + 100 * b as i64 + 1),
+                payload: f64::from(i),
+                attr_mask: u64::MAX,
+            })
+            .collect();
+        sent += u64::from(*n);
+        credit = credit.checked_sub(u64::from(*n)).expect("within window");
+        write_msg(&mut stream, &Msg::UpdateBatch(updates)).expect("send batch");
+    }
+    assert!(credit > 0);
+
+    // The stats barrier must observe every batched update: the server
+    // flushes the ring before forwarding the snapshot request.
+    write_msg(&mut stream, &Msg::StatsRequest).expect("stats request");
+    let stats = loop {
+        match read_msg(&mut stream).expect("stats reply") {
+            Some(Msg::Credit(_)) => continue, // absorb any top-up
+            Some(Msg::StatsResponse(s)) => break s,
+            other => panic!("expected StatsResponse, got {other:?}"),
+        }
+    };
+    assert_eq!(stats.ingested, sent, "barrier saw a partial stream");
+    assert_eq!(
+        stats.ingested,
+        stats.applied + stats.superseded + stats.shed + stats.queued,
+        "conservation must hold at the batched snapshot: {stats:?}"
+    );
+
+    // One more batch immediately followed by a shutdown frame: the ring
+    // still holds these when the stop lands, and they must be drained
+    // into the final accounting.
+    let tail: Vec<WireUpdate> = (0..9u32)
+        .map(|i| WireUpdate {
+            class: 1,
+            index: i % 8,
+            generation_micros: 900_000 + i64::from(i),
+            payload: -f64::from(i),
+            attr_mask: u64::MAX,
+        })
+        .collect();
+    sent += tail.len() as u64;
+    write_msg(&mut stream, &Msg::UpdateBatch(tail)).expect("send tail batch");
+    write_msg(&mut stream, &Msg::Shutdown).expect("send shutdown");
+    drop(stream);
+    let report = handle.wait().expect("clean shutdown");
+    assert_eq!(report.updates.arrived, sent);
+    assert_eq!(
+        report.updates.terminal_total(),
+        report.updates.arrived,
+        "batched-path conservation must hold at exit"
     );
 }
 

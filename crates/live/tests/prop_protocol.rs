@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use strip_live::protocol::{
     read_msg, write_msg, Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate,
-    MAX_TXN_READS,
+    MAX_BATCH_UPDATES, MAX_TXN_READS,
 };
 
 /// Encodes `msg` into a buffer and decodes it back out.
@@ -103,6 +103,9 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
     prop_oneof![
         3 => update_strategy().prop_map(Msg::Update),
         3 => txn_strategy().prop_map(Msg::Txn),
+        3 => prop::collection::vec(update_strategy(), 0..60).prop_map(Msg::UpdateBatch),
+        1 => Just(Msg::CreditRequest),
+        1 => (0u64..u64::MAX).prop_map(Msg::Credit),
         2 => (0u8..2, 0u32..u32::MAX).prop_map(|(class, index)| Msg::Query(WireQuery { class, index })),
         1 => Just(Msg::StatsRequest),
         1 => Just(Msg::ReportRequest),
@@ -133,6 +136,14 @@ proptest! {
     }
 
     #[test]
+    fn update_batches_round_trip_at_any_length(
+        updates in prop::collection::vec(update_strategy(), 0..200),
+    ) {
+        let msg = Msg::UpdateBatch(updates);
+        prop_assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
     fn txn_read_sets_round_trip_at_any_length(
         n in 0usize..200,
         seed in 0u64..u64::MAX,
@@ -152,7 +163,8 @@ proptest! {
     }
 }
 
-/// Zero-length edges: an empty read set and an empty report string.
+/// Zero-length edges: an empty read set, an empty report string, and an
+/// empty update batch.
 #[test]
 fn zero_length_payloads_round_trip() {
     let txn = Msg::Txn(WireTxn {
@@ -166,6 +178,64 @@ fn zero_length_payloads_round_trip() {
     assert_eq!(round_trip(&txn), txn);
     let report = Msg::ReportJson(String::new());
     assert_eq!(round_trip(&report), report);
+    let batch = Msg::UpdateBatch(Vec::new());
+    assert_eq!(round_trip(&batch), batch);
+}
+
+/// A single-update batch round-trips and carries the same payload bytes
+/// as the equivalent singleton `Update` frame (only tag and count
+/// differ) — the batch format is the update format, amortised.
+#[test]
+fn single_update_batch_round_trips() {
+    let u = WireUpdate {
+        class: 1,
+        index: 123,
+        generation_micros: -42,
+        payload: 6.5,
+        attr_mask: u64::MAX,
+    };
+    let batch = Msg::UpdateBatch(vec![u]);
+    assert_eq!(round_trip(&batch), batch);
+    let batch_body = batch.encode_body();
+    let update_body = Msg::Update(u).encode_body();
+    assert_eq!(&batch_body[5..], &update_body[1..]);
+}
+
+/// Maximum-size edge: the largest batch that fits in `MAX_FRAME`
+/// round-trips; one more update must be rejected by the encoder rather
+/// than producing an undecodable frame.
+#[test]
+fn max_size_batch_round_trips_and_overflow_is_rejected() {
+    let full: Vec<WireUpdate> = (0..MAX_BATCH_UPDATES)
+        .map(|i| WireUpdate {
+            class: (i % 2) as u8,
+            index: i as u32,
+            generation_micros: i as i64,
+            payload: i as f64,
+            attr_mask: u64::MAX,
+        })
+        .collect();
+    let msg = Msg::UpdateBatch(full.clone());
+    assert_eq!(round_trip(&msg), msg);
+
+    let mut over = full;
+    over.push(WireUpdate {
+        class: 0,
+        index: 0,
+        generation_micros: 0,
+        payload: 0.0,
+        attr_mask: 0,
+    });
+    let mut buf = Vec::new();
+    assert!(
+        write_msg(&mut buf, &Msg::UpdateBatch(over.clone())).is_err(),
+        "oversized batch must be refused at encode time"
+    );
+    let mut reused = Vec::new();
+    assert!(
+        strip_live::protocol::encode_batch_body(&mut reused, &over).is_err(),
+        "the reusable-buffer encoder must refuse it too"
+    );
 }
 
 /// Maximum-size edge: a transaction frame carrying the largest read set
