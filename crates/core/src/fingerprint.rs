@@ -1,0 +1,62 @@
+//! Configuration identity fingerprints.
+//!
+//! A checkpoint, WAL segment, or snapshot written under one configuration
+//! must never be resumed or replayed under another: the store dimensions,
+//! staleness criterion, and queue bounds all shape what the persisted bytes
+//! *mean*. Both the experiment checkpoints (`strip-experiments`) and the
+//! live runtime's durability artefacts (`strip-live`) therefore carry the
+//! same 64-bit FNV-1a fingerprint of the complete [`SimConfig`], and check
+//! it before trusting persisted state.
+
+use crate::config::SimConfig;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A 64-bit FNV-1a fingerprint of the *complete* configuration, taken over
+/// its `Debug` form (every `SimConfig` field derives `Debug`, and floats
+/// render in shortest-round-trip form, so two configs fingerprint equal iff
+/// every parameter is bit-identical). Stored in each experiment checkpoint
+/// and in every live WAL segment / snapshot header, and checked before the
+/// persisted state is trusted — changing any parameter invalidates old
+/// artefacts instead of silently serving state from a different
+/// configuration.
+#[must_use]
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    fnv1a_64(format!("{cfg:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors (64-bit).
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_equal_configs() {
+        let a = SimConfig::builder().n_low(8).build().expect("valid config");
+        let b = SimConfig::builder().n_low(8).build().expect("valid config");
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        let c = SimConfig::builder().n_low(9).build().expect("valid config");
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod fingerprint;
 pub mod metrics;
 pub mod policy;
 pub mod ready;
@@ -39,6 +40,7 @@ pub mod txn;
 
 pub use config::{Policy, QueuePolicy, SimConfig, StalenessDef};
 pub use controller::{run_simulation, Controller, Event};
+pub use fingerprint::config_fingerprint;
 pub use report::RunReport;
 pub use sources::{ScriptedTxns, ScriptedUpdates, TxnSource, UpdateSource, UpdateSpec};
 pub use txn::{Transaction, TxnSpec};

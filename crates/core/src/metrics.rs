@@ -12,8 +12,8 @@ use strip_sim::stats::Welford;
 use strip_sim::time::SimTime;
 
 use crate::report::{
-    CpuStats, HistoryStats, ResilienceStats, RunReport, TimelineWindow, TriggerStats, TxnCounts,
-    UpdateCounts,
+    CpuStats, DurabilityStats, HistoryStats, ResilienceStats, RunReport, TimelineWindow,
+    TriggerStats, TxnCounts, UpdateCounts,
 };
 use crate::txn::Transaction;
 
@@ -381,6 +381,7 @@ impl Metrics {
                 t
             },
             resilience,
+            durability: DurabilityStats::default(),
             timeline: self.timeline,
             cpu: CpuStats {
                 busy_txn: self.busy_txn,

@@ -235,6 +235,26 @@ pub struct ResilienceStats {
     pub recovery_secs: Option<f64>,
 }
 
+/// Durability accounting (live-runtime WAL/snapshot/recovery subsystem;
+/// all zeros for simulator runs and for live runs without `--wal`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityStats {
+    /// Records appended to the write-ahead log.
+    pub wal_appended: u64,
+    /// `fsync` calls issued by the group-commit flusher.
+    pub wal_fsyncs: u64,
+    /// Bytes written to the log (records plus segment headers).
+    pub wal_bytes: u64,
+    /// Largest number of records covered by a single fsync (group size).
+    pub wal_group_max: u64,
+    /// Store snapshots sealed (atomic write-rename completed).
+    pub snapshots_written: u64,
+    /// WAL records replayed into the store during recovery.
+    pub recovery_replayed: u64,
+    /// Torn or CRC-failing tail records discarded during recovery.
+    pub recovery_discarded: u64,
+}
+
 /// CPU-time accounting over the measurement window.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CpuStats {
@@ -340,6 +360,8 @@ pub struct RunReport {
     pub triggers: TriggerStats,
     /// Resilience accounting (robustness extension).
     pub resilience: ResilienceStats,
+    /// Durability accounting (live-runtime WAL extension).
+    pub durability: DurabilityStats,
     /// Per-window outcomes (extension; empty unless `timeline_window` set).
     pub timeline: Vec<TimelineWindow>,
 }
@@ -494,6 +516,19 @@ impl RunReport {
             r.burst_grouped,
             r.admission_shed,
             r.recovery_secs.map_or("null".to_string(), json_f64),
+        ));
+        let d = &self.durability;
+        out.push_str(&format!(
+            "\"durability\":{{\"wal_appended\":{},\"wal_fsyncs\":{},\"wal_bytes\":{},\
+             \"wal_group_max\":{},\"snapshots_written\":{},\"recovery_replayed\":{},\
+             \"recovery_discarded\":{}}},",
+            d.wal_appended,
+            d.wal_fsyncs,
+            d.wal_bytes,
+            d.wal_group_max,
+            d.snapshots_written,
+            d.recovery_replayed,
+            d.recovery_discarded,
         ));
         out.push_str(&format!("\"timeline\":[{timeline}],"));
         out.push_str(&format!(
@@ -699,6 +734,15 @@ impl RunReport {
                         Some(recovered.iter().sum::<f64>() / recovered.len() as f64)
                     }
                 },
+            },
+            durability: DurabilityStats {
+                wal_appended: mu(&|r| r.durability.wal_appended),
+                wal_fsyncs: mu(&|r| r.durability.wal_fsyncs),
+                wal_bytes: mu(&|r| r.durability.wal_bytes),
+                wal_group_max: mu(&|r| r.durability.wal_group_max),
+                snapshots_written: mu(&|r| r.durability.snapshots_written),
+                recovery_replayed: mu(&|r| r.durability.recovery_replayed),
+                recovery_discarded: mu(&|r| r.durability.recovery_discarded),
             },
             timeline,
         }
@@ -931,6 +975,7 @@ mod tests {
             "\"p_md\":0.25",
             "\"av\":4.0",
             "\"recovery_secs\":null",
+            "\"wal_appended\":0",
             "\"terminal_total\":0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -289,15 +289,12 @@ impl SweepRunner {
 /// on resume, so changing any parameter — `lambda_u`, queue bounds, cost
 /// model, staleness criterion, … — invalidates old checkpoints instead of
 /// silently serving results from a different experiment.
-#[must_use]
-pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in format!("{cfg:?}").bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x100_0000_01B3);
-    }
-    hash
-}
+///
+/// The hash itself lives in [`strip_core::fingerprint`] so the live
+/// runtime's WAL segments and snapshots can carry the identical identity
+/// without depending on this crate; this re-export keeps the historic
+/// checkpoint API in place.
+pub use strip_core::fingerprint::config_fingerprint;
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -399,6 +396,14 @@ pub fn serialize_report(r: &RunReport) -> String {
     if let Some(rec) = z.recovery_secs {
         kv("resilience.recovery_secs", &rec);
     }
+    let y = &r.durability;
+    kv("durability.wal_appended", &y.wal_appended);
+    kv("durability.wal_fsyncs", &y.wal_fsyncs);
+    kv("durability.wal_bytes", &y.wal_bytes);
+    kv("durability.wal_group_max", &y.wal_group_max);
+    kv("durability.snapshots_written", &y.snapshots_written);
+    kv("durability.recovery_replayed", &y.recovery_replayed);
+    kv("durability.recovery_discarded", &y.recovery_discarded);
     for w in &r.timeline {
         kv(
             "timeline",
@@ -513,6 +518,17 @@ pub fn parse_report(text: &str) -> Option<RunReport> {
     z.burst_grouped = u("resilience.burst_grouped")?;
     z.admission_shed = u("resilience.admission_shed")?;
     z.recovery_secs = f("resilience.recovery_secs");
+    // Durability keys default to zero when absent: checkpoints written
+    // before the live WAL subsystem existed (and every simulator run, which
+    // has no durability layer) simply omit them.
+    let y = &mut r.durability;
+    y.wal_appended = u("durability.wal_appended").unwrap_or_default();
+    y.wal_fsyncs = u("durability.wal_fsyncs").unwrap_or_default();
+    y.wal_bytes = u("durability.wal_bytes").unwrap_or_default();
+    y.wal_group_max = u("durability.wal_group_max").unwrap_or_default();
+    y.snapshots_written = u("durability.snapshots_written").unwrap_or_default();
+    y.recovery_replayed = u("durability.recovery_replayed").unwrap_or_default();
+    y.recovery_discarded = u("durability.recovery_discarded").unwrap_or_default();
     r.timeline = timeline;
     Some(r)
 }
@@ -547,6 +563,9 @@ mod tests {
         r.triggers.lag_mean = 0.25;
         r.resilience.duplicated = 31;
         r.resilience.recovery_secs = Some(std::f64::consts::PI);
+        r.durability.wal_appended = 4_096;
+        r.durability.wal_fsyncs = 16;
+        r.durability.recovery_replayed = 128;
         r.timeline = vec![
             TimelineWindow {
                 t_start: 0.0,

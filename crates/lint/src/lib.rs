@@ -6,7 +6,7 @@
 //! untouched) all rest on determinism, and determinism erodes one
 //! convenient `HashMap` at a time. This crate walks every non-vendored
 //! workspace crate with a purpose-built lexer (the offline build has no
-//! `syn`; see [`lex`]) and enforces six rules:
+//! `syn`; see [`lex`]) and enforces seven rules:
 //!
 //! | code | name                    | scope                                       |
 //! |------|-------------------------|---------------------------------------------|
@@ -16,6 +16,7 @@
 //! | D4   | undocumented-unsafe     | everywhere: `unsafe` needs `// SAFETY:`     |
 //! | D5   | panicking-io            | checkpoint/trace I/O: no unwrap/expect/`[]` |
 //! | D6   | raw-f64-sum             | stats-adjacent files: use Welford helpers   |
+//! | D7   | durability-boundary     | WAL/snapshot/recovery: checked I/O only; sim-path crates must not import them |
 //!
 //! Violations are silenced in place with
 //! `// lint: allow(<rule>, reason=...)` (same or next line) or
@@ -71,6 +72,20 @@ const D6_FILES: [&str; 3] = [
     "crates/experiments/src/figures.rs",
 ];
 
+/// Durability I/O modules (D7, checked-I/O mode): the crash-safety path
+/// runs unattended and must degrade via `Result` — a panic here turns a
+/// recoverable disk hiccup into data loss.
+const D7_DURABILITY_FILES: [&str; 3] = [
+    "crates/live/src/recovery.rs",
+    "crates/live/src/snapshot.rs",
+    "crates/live/src/wal.rs",
+];
+
+/// Crates whose `src/` must never name a durability module (D7, isolation
+/// mode): the deterministic sim/report path must not grow a filesystem
+/// dependency. Everything in D2 scope except the live runtime itself.
+const D7_SIM_CRATES: [&str; 6] = ["simkit", "rtdb", "core", "workload", "obs", "experiments"];
+
 /// Which rules apply to the file at workspace-relative `rel` (unix
 /// separators). Returns an empty set for out-of-scope files.
 #[must_use]
@@ -101,6 +116,9 @@ pub fn rules_for(rel: &str) -> Vec<RuleId> {
     }
     if D6_FILES.contains(&rel) {
         rules.push(RuleId::RawF64Sum);
+    }
+    if D7_DURABILITY_FILES.contains(&rel) || crate_name.is_none_or(|c| D7_SIM_CRATES.contains(&c)) {
+        rules.push(RuleId::DurabilityBoundary);
     }
     rules
 }
@@ -304,6 +322,24 @@ mod tests {
 
         assert!(rules_for("crates/experiments/tests/golden.rs").is_empty());
         assert!(rules_for("crates/lint/src/lib.rs").contains(&RuleId::UndocumentedUnsafe));
+
+        // D7 checked-I/O mode covers exactly the durability modules; D7
+        // isolation mode covers the sim-path crates (which must never
+        // import them) but not the live crate's own non-durability files.
+        for f in [
+            "crates/live/src/wal.rs",
+            "crates/live/src/snapshot.rs",
+            "crates/live/src/recovery.rs",
+        ] {
+            assert!(
+                rules_for(f).contains(&RuleId::DurabilityBoundary),
+                "{f} must be D7-checked"
+            );
+        }
+        assert!(rules_for("crates/core/src/controller.rs").contains(&RuleId::DurabilityBoundary));
+        assert!(rules_for("crates/experiments/src/runner.rs").contains(&RuleId::DurabilityBoundary));
+        assert!(!rules_for("crates/live/src/executor.rs").contains(&RuleId::DurabilityBoundary));
+        assert!(!rules_for("crates/live/src/server.rs").contains(&RuleId::DurabilityBoundary));
     }
 
     #[test]

@@ -36,19 +36,25 @@ pub enum RuleId {
     PanickingIo,
     /// D6: raw `f64` sum loops where the Welford helpers exist.
     RawF64Sum,
+    /// D7: durability boundary — WAL/snapshot/recovery modules must stay
+    /// checked-I/O (no unwrap/expect/panic), and no sim-path crate may
+    /// import them (the simulator must never grow a filesystem
+    /// dependency).
+    DurabilityBoundary,
     /// Malformed `lint: allow` annotation (always on).
     BadAllow,
 }
 
 impl RuleId {
     /// Every real rule, in document order (excludes the meta rule).
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::WallClock,
         RuleId::NondeterministicOrder,
         RuleId::AmbientEntropy,
         RuleId::UndocumentedUnsafe,
         RuleId::PanickingIo,
         RuleId::RawF64Sum,
+        RuleId::DurabilityBoundary,
     ];
 
     /// Short code ("D1").
@@ -61,6 +67,7 @@ impl RuleId {
             RuleId::UndocumentedUnsafe => "D4",
             RuleId::PanickingIo => "D5",
             RuleId::RawF64Sum => "D6",
+            RuleId::DurabilityBoundary => "D7",
             RuleId::BadAllow => "A0",
         }
     }
@@ -75,6 +82,7 @@ impl RuleId {
             RuleId::UndocumentedUnsafe => "undocumented-unsafe",
             RuleId::PanickingIo => "panicking-io",
             RuleId::RawF64Sum => "raw-f64-sum",
+            RuleId::DurabilityBoundary => "durability-boundary",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -110,6 +118,10 @@ impl RuleId {
             }
             RuleId::RawF64Sum => {
                 "raw f64 sum where the Welford helpers exist (use Welford::push/merge)"
+            }
+            RuleId::DurabilityBoundary => {
+                "durability boundary breach (checked I/O only in WAL/snapshot/recovery; \
+                 sim-path crates must not import them)"
             }
             RuleId::BadAllow => "malformed `lint: allow` annotation (missing rule or reason=)",
         }
@@ -314,6 +326,17 @@ fn snippet(lines: &[&str], line: u32) -> String {
         .map_or(String::new(), |l| l.trim().to_string())
 }
 
+/// The durability modules themselves, by trailing file name. D7's
+/// checked-I/O mode fires only inside these; its isolation mode (the
+/// `strip_live::<module>` path ban) covers everything else the rule is
+/// enabled for.
+fn is_durability_file(file: &str) -> bool {
+    matches!(
+        file.rsplit('/').next(),
+        Some("wal.rs" | "snapshot.rs" | "recovery.rs")
+    )
+}
+
 /// Runs `rules` over `src`, reporting as `file`. The caller decides which
 /// rules apply to the file (see [`crate::workspace`]); `BadAllow` is always
 /// active.
@@ -477,6 +500,58 @@ pub fn analyze_source(file: &str, src: &str, rules: &[RuleId]) -> Vec<Violation>
                     &mut out,
                 );
             }
+            // D7 checked-I/O mode: the durability modules run the crash
+            // path unattended and must degrade via Result. (No indexing
+            // heuristic here — the fixed-offset codecs slice by constant
+            // bounds on buffers whose length was already checked.)
+            "unwrap" | "expect"
+                if rules.contains(&RuleId::DurabilityBoundary)
+                    && is_durability_file(file)
+                    && prev_is_dot
+                    && !exempt(RuleId::DurabilityBoundary, t.line) =>
+            {
+                fire(
+                    RuleId::DurabilityBoundary,
+                    t,
+                    format!(
+                        "`.{}()` panics; WAL/snapshot/recovery I/O must stay Result-based",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+            "panic"
+                if rules.contains(&RuleId::DurabilityBoundary)
+                    && is_durability_file(file)
+                    && tokens.get(i + 1).is_some_and(|x| x.is_punct('!'))
+                    && !exempt(RuleId::DurabilityBoundary, t.line) =>
+            {
+                fire(
+                    RuleId::DurabilityBoundary,
+                    t,
+                    "`panic!` in a durability module".to_string(),
+                    &mut out,
+                );
+            }
+            // D7 isolation mode: a sim-path crate naming a durability
+            // module would grow the deterministic simulator a filesystem
+            // dependency. Matching the full `strip_live::<module>` path
+            // keeps idents like `Ingest::Snapshot` from firing.
+            "wal" | "snapshot" | "recovery"
+                if rules.contains(&RuleId::DurabilityBoundary)
+                    && preceded_by_path("strip_live")
+                    && !exempt(RuleId::DurabilityBoundary, t.line) =>
+            {
+                fire(
+                    RuleId::DurabilityBoundary,
+                    t,
+                    format!(
+                        "durability module `strip_live::{}` named in a sim-path crate",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
             "sum"
                 if rules.contains(&RuleId::RawF64Sum)
                     && prev_is_dot
@@ -636,5 +711,67 @@ mod tests {\n\
     #[test]
     fn strings_never_fire() {
         assert!(run("fn f() -> &'static str { \"HashMap unsafe thread_rng\" }\n").is_empty());
+    }
+
+    #[test]
+    fn d7_checked_io_mode_catches_unwrap_expect_panic_but_not_indexing() {
+        let only = [RuleId::DurabilityBoundary];
+        let v = analyze_source(
+            "wal.rs",
+            "fn f(r: Option<u8>) -> u8 { r.unwrap() }\n",
+            &only,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::DurabilityBoundary);
+        let v = analyze_source("wal.rs", "fn f() { panic!(\"torn\"); }\n", &only);
+        assert_eq!(v.len(), 1);
+        // Fixed-offset codec slicing is deliberate: no indexing heuristic.
+        let v = analyze_source("wal.rs", "fn f(b: &mut [u8]) { b[0] = 1; }\n", &only);
+        assert!(v.is_empty(), "{v:?}");
+        // `unwrap_or` is checked, not panicking.
+        let v = analyze_source(
+            "wal.rs",
+            "fn f(r: Option<u8>) -> u8 { r.unwrap_or(0) }\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // Outside the durability modules only isolation mode applies:
+        // ordinary sim-crate panics belong to D5's jurisdiction, not D7.
+        let v = analyze_source(
+            "sim.rs",
+            "fn f(r: Option<u8>) -> u8 { r.expect(\"x\") }\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = analyze_source("sim.rs", "fn f() { panic!(\"x\"); }\n", &only);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn d7_isolation_mode_catches_durability_paths_only() {
+        let only = [RuleId::DurabilityBoundary];
+        let v = analyze_source("sim.rs", "use strip_live::wal::WalHandle;\n", &only);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::DurabilityBoundary);
+        let v = analyze_source(
+            "sim.rs",
+            "fn f() { strip_live::recovery::noop(); }\n",
+            &only,
+        );
+        assert_eq!(v.len(), 1);
+        // Bare idents and enum variants that merely share the words do
+        // not fire: only the full `strip_live::<module>` path counts.
+        let v = analyze_source(
+            "sim.rs",
+            "fn f() { let snapshot = 1; let _ = snapshot; }\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = analyze_source(
+            "sim.rs",
+            "fn f(m: Ingest) { matches!(m, Ingest::Snapshot); }\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 }

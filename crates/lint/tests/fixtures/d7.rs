@@ -1,0 +1,8 @@
+// Fixture: must trigger D7 (durability-boundary) exactly once.
+// Not compiled; read as data by the self-tests.
+
+use strip_live::wal::WalHandle;
+
+fn attach(handle: WalHandle) -> WalHandle {
+    handle
+}

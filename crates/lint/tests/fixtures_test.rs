@@ -15,13 +15,17 @@ fn fixture(name: &str) -> (PathBuf, String) {
     (path, src)
 }
 
-const CASES: [(&str, RuleId); 6] = [
+const CASES: [(&str, RuleId); 7] = [
     ("d1.rs", RuleId::WallClock),
     ("d2.rs", RuleId::NondeterministicOrder),
     ("d3.rs", RuleId::AmbientEntropy),
     ("d4.rs", RuleId::UndocumentedUnsafe),
     ("d5.rs", RuleId::PanickingIo),
     ("d6.rs", RuleId::RawF64Sum),
+    // d7.rs exercises D7's isolation mode (a sim-path crate naming a
+    // durability module); the checked-I/O mode is covered by unit tests,
+    // since under the full rule set an `.unwrap()` is claimed by D5 first.
+    ("d7.rs", RuleId::DurabilityBoundary),
 ];
 
 #[test]

@@ -2,22 +2,32 @@
 //!
 //! Binds a TCP listener, runs the wall-clock executor with the requested
 //! policy, and serves the binary protocol plus `/metrics` scrapes until a
-//! client sends a shutdown frame; the final `RunReport` is printed to
-//! stdout as JSON.
+//! client sends a shutdown frame (or SIGTERM/SIGINT arrives); the final
+//! `RunReport` is printed to stdout as JSON.
+//!
+//! With `--wal DIR` every accepted update is group-committed to an
+//! append-only log and the store is snapshotted periodically; after a
+//! crash, `--recover` replays the snapshot + WAL tail before the listener
+//! binds. See DESIGN.md §14.
 //!
 //! ```text
 //! stripd [--addr 127.0.0.1:7411] [--policy uf|tf|su|od] \
 //!        [--staleness ma|uu|either] [--max-age SECS] [--quantum-us US] \
-//!        [--n-low N] [--n-high N] [--warmup SECS] [--seed N]
+//!        [--n-low N] [--n-high N] [--warmup SECS] [--seed N] \
+//!        [--wal DIR] [--fsync always|group:<us>|off] \
+//!        [--snapshot-secs SECS] [--recover]
 //! ```
 
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use strip_core::config::{Policy, SimConfig};
 use strip_db::staleness::StalenessSpec;
 use strip_live::executor::LiveConfig;
-use strip_live::server::serve;
+use strip_live::server::serve_recovered;
+use strip_live::wal::{DurabilityConfig, FsyncPolicy};
+use strip_live::{recovery, signal};
 
 struct Args {
     addr: String,
@@ -29,6 +39,10 @@ struct Args {
     n_high: u32,
     warmup: f64,
     seed: u64,
+    wal_dir: Option<String>,
+    fsync: FsyncPolicy,
+    snapshot_secs: f64,
+    recover: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +56,10 @@ fn parse_args() -> Result<Args, String> {
         n_high: 500,
         warmup: 0.0,
         seed: 0x5712_1995,
+        wal_dir: None,
+        fsync: FsyncPolicy::Group(1_000),
+        snapshot_secs: 5.0,
+        recover: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -71,14 +89,27 @@ fn parse_args() -> Result<Args, String> {
             "--n-high" => args.n_high = parse_num(&val()?, &flag)?,
             "--warmup" => args.warmup = parse_num(&val()?, &flag)?,
             "--seed" => args.seed = parse_num(&val()?, &flag)?,
+            "--wal" => args.wal_dir = Some(val()?),
+            "--fsync" => {
+                let v = val()?;
+                args.fsync = FsyncPolicy::parse(&v)
+                    .ok_or_else(|| format!("unknown fsync policy `{v}` (always|group:<us>|off)"))?;
+            }
+            "--snapshot-secs" => args.snapshot_secs = parse_num(&val()?, &flag)?,
+            "--recover" => args.recover = true,
             "--help" | "-h" => {
                 return Err("usage: stripd [--addr A] [--policy uf|tf|su|od] \
                      [--staleness ma|uu|either] [--max-age S] [--quantum-us US] \
-                     [--n-low N] [--n-high N] [--warmup S] [--seed N]"
+                     [--n-low N] [--n-high N] [--warmup S] [--seed N] \
+                     [--wal DIR] [--fsync always|group:<us>|off] \
+                     [--snapshot-secs S] [--recover]"
                     .to_string())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
+    }
+    if args.recover && args.wal_dir.is_none() {
+        return Err("--recover requires --wal DIR".to_string());
     }
     Ok(args)
 }
@@ -125,12 +156,41 @@ fn main() -> ExitCode {
         }
     };
     let quantum = args.quantum_us as f64 * 1e-6;
-    let cfg = match LiveConfig::with_quantum(sim, quantum) {
+    let mut cfg = match LiveConfig::with_quantum(sim, quantum) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("live config: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    if let Some(dir) = &args.wal_dir {
+        cfg.durability = Some(DurabilityConfig {
+            dir: dir.into(),
+            fsync: args.fsync,
+            snapshot_secs: args.snapshot_secs,
+            recover: args.recover,
+        });
+    }
+    // Recover before binding: a recovering server is never half-visible.
+    let recovered = if args.recover {
+        match recovery::recover(&cfg) {
+            Ok(r) => {
+                println!(
+                    "stripd recovered: snapshot={} replayed={} discarded={} next_seq={}",
+                    if r.snapshot_loaded { "loaded" } else { "none" },
+                    r.replayed,
+                    r.discarded,
+                    r.next_seq
+                );
+                Some(r)
+            }
+            Err(e) => {
+                eprintln!("recover: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
     };
     let listener = match TcpListener::bind(&args.addr) {
         Ok(l) => l,
@@ -139,19 +199,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let handle = match serve(&cfg, listener) {
+    let handle = match serve_recovered(&cfg, listener, recovered) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("serve: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // SIGTERM/SIGINT take the same orderly path as a wire shutdown frame:
+    // drain, seal the WAL segment, print the report. kill -9 is the only
+    // lossy way to stop the process (and the crash harness exercises it).
+    if signal::install() {
+        let trigger = handle.shutdown_trigger();
+        let _ = std::thread::Builder::new()
+            .name("stripd-signal".into())
+            .spawn(move || loop {
+                if signal::terminated() {
+                    trigger.fire();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            });
+    }
     println!(
-        "stripd listening on {} policy={} staleness={} quantum={}us",
+        "stripd listening on {} policy={} staleness={} quantum={}us wal={} fsync={}",
         handle.addr(),
         cfg.sim.policy.label(),
         args.staleness,
-        args.quantum_us
+        args.quantum_us,
+        args.wal_dir.as_deref().unwrap_or("off"),
+        args.fsync
     );
     match handle.wait() {
         Ok(report) => {

@@ -56,6 +56,9 @@ pub struct LiveConfig {
     /// drained and timers fire between chunks, so this bounds both the
     /// preemption latency under UF/SU and the deadline-detection error.
     pub quantum: f64,
+    /// Crash durability (WAL + snapshots); `None` runs in-memory only,
+    /// exactly as before the durability subsystem existed.
+    pub durability: Option<crate::wal::DurabilityConfig>,
 }
 
 /// Reasons a [`SimConfig`] cannot drive the live executor.
@@ -139,8 +142,61 @@ impl LiveConfig {
         if !quantum.is_finite() || quantum <= 0.0 || quantum > Self::MAX_QUANTUM {
             return Err(LiveConfigError::BadQuantum(quantum));
         }
-        Ok(LiveConfig { sim, quantum })
+        Ok(LiveConfig {
+            sim,
+            quantum,
+            durability: None,
+        })
     }
+
+    /// Attaches a durability configuration (builder style).
+    #[must_use]
+    pub fn with_durability(mut self, durability: crate::wal::DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+}
+
+/// The store a fresh (non-recovering) run starts from: view objects carry
+/// the same steady-state exponential initial ages the simulator draws
+/// (same seed, same substream). Recovery replaces this with the snapshot
+/// image; everything else about executor construction is shared.
+#[must_use]
+pub fn initial_store(sim: &SimConfig) -> Store {
+    let root = Xoshiro256pp::seed_from_u64(sim.seed);
+    let mut init_rng = root.substream(0xA9E);
+    let mean_low = sim.per_object_refresh_mean(true);
+    let mean_high = sim.per_object_refresh_mean(false);
+    let mut init_ages: Vec<SimTime> = Vec::with_capacity((sim.n_low + sim.n_high) as usize);
+    for _ in 0..sim.n_low {
+        let age = if mean_low.is_finite() {
+            Exponential::new(mean_low).sample(&mut init_rng)
+        } else {
+            0.0
+        };
+        init_ages.push(SimTime::from_secs(-age));
+    }
+    for _ in 0..sim.n_high {
+        let age = if mean_high.is_finite() {
+            Exponential::new(mean_high).sample(&mut init_rng)
+        } else {
+            0.0
+        };
+        init_ages.push(SimTime::from_secs(-age));
+    }
+    let idx = |id: ViewObjectId| -> usize {
+        match id.class {
+            Importance::Low => id.index as usize,
+            Importance::High => sim.n_low as usize + id.index as usize,
+        }
+    };
+    Store::with_initial_timestamps(
+        sim.n_low,
+        sim.n_high,
+        sim.n_general,
+        sim.attrs_per_object,
+        |id| init_ages[idx(id)],
+    )
 }
 
 /// One message into the executor thread. The TCP connection threads and
@@ -279,6 +335,21 @@ pub struct Executor {
     /// Lock-free ingest rings attached by [`Ingest::Stream`], one per
     /// batching connection; popped on every ingest drain.
     streams: Vec<spsc::Consumer<WireUpdate>>,
+    /// Handle to the WAL flusher thread, when durability is on.
+    wal: Option<crate::wal::WalHandle>,
+    /// WAL counters, kept past [`WalHandle::seal`](crate::wal::WalHandle)
+    /// so the final report can read the post-seal totals.
+    wal_stats: Option<std::sync::Arc<crate::wal::WalStats>>,
+    /// Fingerprint of `cfg`, stamped into snapshots.
+    fingerprint: u64,
+    /// Seconds between periodic snapshots (`None`: never snapshot).
+    snapshot_every: Option<f64>,
+    /// Wall-clock second the next periodic snapshot is due at.
+    next_snapshot_at: f64,
+    /// Updates replayed from the WAL by recovery, for the report.
+    recovery_replayed: u64,
+    /// Torn/corrupt tail records recovery rejected, for the report.
+    recovery_discarded: u64,
 }
 
 impl Executor {
@@ -291,45 +362,37 @@ impl Executor {
     /// the instant the executor's clock starts.
     #[must_use]
     pub fn new(cfg: &LiveConfig, rx: Receiver<Ingest>) -> Self {
+        Self::with_wal(cfg, rx, None, None)
+    }
+
+    /// Builds an executor with an optional WAL and an optional recovered
+    /// store. [`Executor::new`] is `with_wal(cfg, rx, None, None)`; the
+    /// server constructs the WAL handle and runs recovery itself (they
+    /// need the filesystem before the listener binds). The staleness
+    /// tracker is seeded from the store's own generation timestamps, so a
+    /// recovered store resumes tracking exactly where the crash left it.
+    #[must_use]
+    pub fn with_wal(
+        cfg: &LiveConfig,
+        rx: Receiver<Ingest>,
+        wal: Option<crate::wal::WalHandle>,
+        recovered: Option<crate::recovery::Recovered>,
+    ) -> Self {
         let sim = cfg.sim.clone();
-        let root = Xoshiro256pp::seed_from_u64(sim.seed);
-        let mut init_rng = root.substream(0xA9E);
-        let mean_low = sim.per_object_refresh_mean(true);
-        let mean_high = sim.per_object_refresh_mean(false);
-        let mut init_ages: Vec<SimTime> = Vec::with_capacity((sim.n_low + sim.n_high) as usize);
-        for _ in 0..sim.n_low {
-            let age = if mean_low.is_finite() {
-                Exponential::new(mean_low).sample(&mut init_rng)
-            } else {
-                0.0
-            };
-            init_ages.push(SimTime::from_secs(-age));
-        }
-        for _ in 0..sim.n_high {
-            let age = if mean_high.is_finite() {
-                Exponential::new(mean_high).sample(&mut init_rng)
-            } else {
-                0.0
-            };
-            init_ages.push(SimTime::from_secs(-age));
-        }
-        let idx = |id: ViewObjectId| -> usize {
-            match id.class {
-                Importance::Low => id.index as usize,
-                Importance::High => sim.n_low as usize + id.index as usize,
-            }
+        let (store, update_seq, recovery_replayed, recovery_discarded) = match recovered {
+            Some(r) => (r.store, r.next_seq, r.replayed, r.discarded),
+            None => (initial_store(&sim), 0, 0, 0),
         };
-        let store = Store::with_initial_timestamps(
-            sim.n_low,
-            sim.n_high,
-            sim.n_general,
-            sim.attrs_per_object,
-            |id| init_ages[idx(id)],
-        );
         let tracker =
             StalenessTracker::new(sim.staleness, sim.n_low, sim.n_high, SimTime::ZERO, |id| {
-                init_ages[idx(id)]
+                store.view(id).generation_ts
             });
+        let wal_stats = wal.as_ref().map(crate::wal::WalHandle::stats);
+        let snapshot_every = cfg
+            .durability
+            .as_ref()
+            .map(|d| d.snapshot_secs)
+            .filter(|s| s.is_finite() && *s > 0.0);
         let os = OsQueue::with_shed(sim.os_max, sim.os_shed);
         let uq = DualUpdateQueue::with_shed(
             sim.uq_max,
@@ -354,7 +417,7 @@ impl Executor {
             metrics: Metrics::new(SimTime::from_secs(sim.warmup)),
             running: None,
             read_counts,
-            update_seq: 0,
+            update_seq,
             pending_preempt_cost: 0.0,
             expiry: BinaryHeap::new(),
             deadlines: BinaryHeap::new(),
@@ -365,6 +428,13 @@ impl Executor {
             shutdown: false,
             rx,
             streams: Vec::new(),
+            wal,
+            wal_stats,
+            fingerprint: strip_core::config_fingerprint(&sim),
+            snapshot_every,
+            next_snapshot_at: snapshot_every.unwrap_or(f64::INFINITY),
+            recovery_replayed,
+            recovery_discarded,
             cfg: sim,
         }
     }
@@ -464,6 +534,14 @@ impl Executor {
                 false
             }
             Ingest::Snapshot { reply } => {
+                // The ack barrier: a stats reply acknowledges every update
+                // accepted before it, so those records must be written
+                // (kill -9-durable) before the reply leaves. Group-commit
+                // latency is bounded (≤ ring drain + one write), so this
+                // does not stall the loop meaningfully.
+                if let Some(wal) = &mut self.wal {
+                    wal.barrier(self.update_seq);
+                }
                 let _ = reply.send(self.snapshot(now));
                 false
             }
@@ -495,6 +573,12 @@ impl Executor {
             attr_mask: w.attr_mask,
         };
         self.update_seq += 1;
+        if let Some(wal) = &mut self.wal {
+            // Log before state (before even the OS queue): the WAL records
+            // *accepted* updates, so recovery's worthiness-checked replay
+            // subsumes whatever sheds or supersessions the crash erased.
+            wal.append(update.seq, *w, LiveClock::sim_to_micros(now));
+        }
         let outcome = self.os.deliver(update);
         self.metrics.update_arrived(now, !outcome.lost_one());
         self.tracker.on_receive(object, update.generation_ts, now);
@@ -570,6 +654,12 @@ impl Executor {
     /// whose deadline is already due is being burned — the burn loop
     /// checks its own deadline first, then calls this with the same `now`.
     fn process_timers(&mut self, now: SimTime) {
+        // Hand any partial WAL chunk to the flusher once per quantum: the
+        // append hot path only buffers, so this bounds how long a record
+        // can sit outside the flusher's reach.
+        if let Some(wal) = &mut self.wal {
+            wal.flush();
+        }
         let t = now.as_secs();
         while self.expiry.peek().is_some_and(|e| e.at <= t) {
             let e = self.expiry.pop().expect("peeked expiry entry");
@@ -595,6 +685,33 @@ impl Executor {
             }
             // Otherwise the transaction already finished: stale watchdog.
         }
+        self.maybe_snapshot(now);
+    }
+
+    /// Hands a periodic store image to the flusher when one is due. The
+    /// encode is O(store) on the executor thread (cheap: tens of µs at the
+    /// paper's store sizes); the atomic write and segment truncation
+    /// happen on the flusher.
+    fn maybe_snapshot(&mut self, now: SimTime) {
+        let Some(every) = self.snapshot_every else {
+            return;
+        };
+        if now.as_secs() < self.next_snapshot_at {
+            return;
+        }
+        if let Some(wal) = &mut self.wal {
+            let image = crate::snapshot::encode(
+                &self.store,
+                self.cfg.attrs_per_object.max(1),
+                self.fingerprint,
+                self.update_seq,
+            );
+            wal.request_snapshot(image, self.update_seq);
+            self.events += 1;
+        }
+        // Re-arm relative to now, not the missed slot, so a stall does not
+        // cause a burst of back-to-back snapshots.
+        self.next_snapshot_at = now.as_secs() + every;
     }
 
     /// Wall-clock seconds of the earliest pending timer, if any.
@@ -1111,7 +1228,7 @@ impl Executor {
             // on the clone so folds are well-defined (and zero-width).
             m.snapshot_warmup(&self.tracker, now);
         }
-        m.finalize(
+        let mut report = m.finalize(
             self.policy.label(),
             self.cfg.seed,
             now.as_secs(),
@@ -1120,7 +1237,22 @@ impl Executor {
             self.queue_drops(),
             ResilienceStats::default(),
             self.events,
-        )
+        );
+        report.durability = self.durability_stats();
+        report
+    }
+
+    /// Durability counters for the report: flusher totals plus what
+    /// recovery did at startup.
+    fn durability_stats(&self) -> strip_core::report::DurabilityStats {
+        let mut d = self
+            .wal_stats
+            .as_ref()
+            .map(|s| s.durability())
+            .unwrap_or_default();
+        d.recovery_replayed = self.recovery_replayed;
+        d.recovery_discarded = self.recovery_discarded;
+        d
     }
 
     /// Queue/CPU occupancy at this instant, for the report's conservation
@@ -1144,6 +1276,14 @@ impl Executor {
     fn finalize(mut self) -> RunReport {
         let end = self.clock.now();
         let drops = self.queue_drops();
+        // Seal the WAL first (drain, append the seal record, fsync): the
+        // final report's counters then include the close-out fsync, and an
+        // orderly shutdown is provably non-lossy before we claim success.
+        if let Some(wal) = self.wal.take() {
+            if let Err(e) = wal.seal() {
+                eprintln!("stripd: wal seal failed: {e}");
+            }
+        }
         if let Some(rt) = self.running.take() {
             self.metrics.txn_in_flight(&rt.txn);
         }
@@ -1154,7 +1294,8 @@ impl Executor {
             self.metrics.snapshot_warmup(&self.tracker, end);
             self.warmup_taken = true;
         }
-        self.metrics.finalize(
+        let durability = self.durability_stats();
+        let mut report = self.metrics.finalize(
             self.policy.label(),
             self.cfg.seed,
             end.as_secs(),
@@ -1163,7 +1304,9 @@ impl Executor {
             drops,
             ResilienceStats::default(),
             self.events,
-        )
+        );
+        report.durability = durability;
+        report
     }
 }
 

@@ -24,6 +24,15 @@
 //!   CPU slices, UF/SU arrival preemption, firm-deadline watchdogs, MA
 //!   expiry timers, and the same [`strip_core::report::RunReport`] at the
 //!   end.
+//! * [`wal`] — crash durability: an append-only, CRC-protected log of
+//!   accepted updates, group-committed by a dedicated flusher thread so
+//!   the quantum loop never blocks on `fsync`.
+//! * [`snapshot`] — periodic atomic store images; each one seals and
+//!   truncates the log segment.
+//! * [`recovery`] — snapshot load + WAL tail replay (longest valid
+//!   prefix), run before the listener binds.
+//! * [`signal`] — a SIGTERM/SIGINT latch so operator kills take the
+//!   orderly drain-seal-report path.
 //! * [`server`] — the `stripd` front end: a TCP accept loop feeding the
 //!   executor's ingest channel, plus a Prometheus-style `/metrics` page
 //!   served on the same port.
@@ -39,8 +48,12 @@ pub mod clock;
 pub mod executor;
 pub mod loadgen;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
+pub mod signal;
+pub mod snapshot;
 pub mod spsc;
+pub mod wal;
 
 pub use clock::LiveClock;
 pub use executor::{Executor, Ingest, LiveConfig, LiveConfigError};
@@ -48,4 +61,6 @@ pub use loadgen::{replay, replay_batched, LoadgenSummary};
 pub use protocol::{
     FrameReader, Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate,
 };
-pub use server::{serve, stats_from_report, ServerHandle};
+pub use recovery::{recover, Recovered};
+pub use server::{serve, serve_recovered, stats_from_report, ServerHandle, ShutdownTrigger};
+pub use wal::{DurabilityConfig, FsyncPolicy, WalHandle};

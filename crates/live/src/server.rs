@@ -96,6 +96,34 @@ impl ServerHandle {
         let _ = self.tx.send(Ingest::Shutdown);
         self.wait()
     }
+
+    /// A detached handle that can fire the same orderly shutdown a wire
+    /// shutdown frame performs — used by the SIGTERM/SIGINT watcher so an
+    /// operator `kill` drains, seals the WAL, and emits the report.
+    #[must_use]
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            tx: self.tx.clone(),
+            stop: Arc::clone(&self.stop),
+        }
+    }
+}
+
+/// Fires the orderly-shutdown path from outside the connection threads
+/// (see [`ServerHandle::shutdown_trigger`]).
+#[derive(Debug, Clone)]
+pub struct ShutdownTrigger {
+    tx: Sender<Ingest>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownTrigger {
+    /// Requests shutdown: the executor drains, finalizes (sealing the WAL
+    /// if one is attached), and the accept loop stops. Idempotent.
+    pub fn fire(&self) {
+        let _ = self.tx.send(Ingest::Shutdown);
+        self.stop.store(true, Ordering::Release);
+    }
 }
 
 /// Starts a live server on `listener`. Returns once the executor and
@@ -105,10 +133,40 @@ impl ServerHandle {
 ///
 /// Propagates listener configuration errors.
 pub fn serve(cfg: &LiveConfig, listener: TcpListener) -> io::Result<ServerHandle> {
+    serve_recovered(cfg, listener, None)
+}
+
+/// [`serve`], with recovery made explicit: when `cfg.durability` asks for
+/// recovery and `recovered` is `None`, recovery runs here (before any
+/// connection is accepted); `stripd` instead recovers first — to print the
+/// replay summary before binding — and passes the result in. Starts the
+/// WAL flusher when durability is configured at all.
+///
+/// # Errors
+///
+/// Listener configuration, recovery (damaged or mismatched artefacts),
+/// and WAL startup errors.
+pub fn serve_recovered(
+    cfg: &LiveConfig,
+    listener: TcpListener,
+    recovered: Option<crate::recovery::Recovered>,
+) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let (tx, rx) = mpsc::channel();
-    let exec = Executor::new(cfg, rx);
+    let recovered = match (&cfg.durability, recovered) {
+        (Some(d), None) if d.recover => Some(crate::recovery::recover(cfg)?),
+        (_, r) => r,
+    };
+    let wal = match &cfg.durability {
+        Some(d) => {
+            let fingerprint = strip_core::config_fingerprint(&cfg.sim);
+            let base_seq = recovered.as_ref().map_or(0, |r| r.next_seq);
+            Some(crate::wal::WalHandle::start(d, fingerprint, base_seq)?)
+        }
+        None => None,
+    };
+    let exec = Executor::with_wal(cfg, rx, wal, recovered);
     let exec_thread = thread::Builder::new()
         .name("stripd-exec".into())
         .spawn(move || exec.run())?;
@@ -503,6 +561,42 @@ pub fn render_metrics(r: &RunReport) -> String {
         "strip_live_cpu_rho_u",
         "CPU utilisation by update installation.",
         r.cpu.rho_u(),
+    );
+    let d = &r.durability;
+    page.counter(
+        "strip_live_wal_appended_total",
+        "Accepted updates appended to the write-ahead log.",
+        d.wal_appended,
+    );
+    page.counter(
+        "strip_live_wal_fsyncs_total",
+        "fsync calls issued by the WAL flusher.",
+        d.wal_fsyncs,
+    );
+    page.counter(
+        "strip_live_wal_bytes_total",
+        "Bytes written to the WAL segment (headers included).",
+        d.wal_bytes,
+    );
+    page.gauge(
+        "strip_live_wal_group_max",
+        "Largest group of records covered by one fsync.",
+        d.wal_group_max as f64,
+    );
+    page.counter(
+        "strip_live_snapshots_written_total",
+        "Store snapshots persisted (each truncates the segment).",
+        d.snapshots_written,
+    );
+    page.counter(
+        "strip_live_recovery_replayed_total",
+        "WAL records replayed by recovery at startup.",
+        d.recovery_replayed,
+    );
+    page.counter(
+        "strip_live_recovery_discarded_total",
+        "Torn or corrupt WAL tail records rejected by recovery.",
+        d.recovery_discarded,
     );
     page.render()
 }

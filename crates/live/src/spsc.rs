@@ -30,8 +30,10 @@
 //! full/empty edge refreshes) is model-checked offline by
 //! `tests/loom_spsc.rs` under `RUSTFLAGS="--cfg loom"`, which swaps the
 //! atomics below for the checked `crates/loom` stand-ins. This module is
-//! intentionally the only unsafe, ordering-sensitive code in the live
-//! runtime — `crates/lint/tests/unsafe_audit.rs` pins that claim.
+//! intentionally the only unsafe, *ordering-sensitive* code in the live
+//! runtime (the only other unsafe in the crate is the pair of `signal(2)`
+//! FFI registrations in [`crate::signal`]) —
+//! `crates/lint/tests/unsafe_audit.rs` pins that claim.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;

@@ -118,6 +118,33 @@ impl ViewObject {
         }
     }
 
+    /// Rebuilds an object from persisted state: the payload, the install
+    /// version counter, and every attribute's generation timestamp (one
+    /// entry for the paper's single-attribute model). `generation_ts` is
+    /// re-derived as the minimum attribute generation, exactly as
+    /// [`ViewObject::apply`] maintains it. An empty `attr_generations` is
+    /// treated as a single attribute at `SimTime::ZERO` (a decoder should
+    /// never produce it, but restore must not panic on hostile input).
+    #[must_use]
+    pub fn restore(payload: f64, version: u64, attr_generations: Vec<SimTime>) -> Self {
+        let generation_ts = attr_generations
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let attr_gens = if attr_generations.len() <= 1 {
+            Vec::new()
+        } else {
+            attr_generations
+        };
+        ViewObject {
+            payload,
+            generation_ts,
+            version,
+            attr_gens,
+        }
+    }
+
     /// Number of attributes (1 for the paper's single-attribute model).
     #[must_use]
     pub fn attr_count(&self) -> u32 {
@@ -245,6 +272,26 @@ mod tests {
         for a in 0..4 {
             assert_eq!(o.attr_generation(a), SimTime::from_secs(3.0));
         }
+    }
+
+    #[test]
+    fn restore_rederives_min_generation() {
+        let o = ViewObject::restore(
+            3.5,
+            7,
+            vec![SimTime::from_secs(2.0), SimTime::from_secs(1.0)],
+        );
+        assert_eq!(o.version, 7);
+        assert_eq!(o.payload, 3.5);
+        assert_eq!(o.generation_ts, SimTime::from_secs(1.0));
+        assert_eq!(o.attr_count(), 2);
+        assert_eq!(o.attr_generation(0), SimTime::from_secs(2.0));
+        let single = ViewObject::restore(1.0, 2, vec![SimTime::from_secs(5.0)]);
+        assert_eq!(single.attr_count(), 1);
+        assert_eq!(single.generation_ts, SimTime::from_secs(5.0));
+        // Hostile input: no attribute generations at all.
+        let empty = ViewObject::restore(0.0, 0, Vec::new());
+        assert_eq!(empty.generation_ts, SimTime::ZERO);
     }
 
     #[test]

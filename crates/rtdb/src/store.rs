@@ -93,6 +93,31 @@ impl Store {
         }
     }
 
+    /// Rebuilds a store from persisted per-object state: `restore(id)`
+    /// supplies each view object (see [`ViewObject::restore`]), in any
+    /// order the caller likes — the store invokes it once per id. General
+    /// data is transaction-private scratch and restarts zeroed; the
+    /// install/superseded counters restart at zero too (they are run
+    /// metrics, not state — the recovered run's report counts its own
+    /// installs, with replays accounted separately).
+    #[must_use]
+    pub fn restore<F>(n_low: u32, n_high: u32, n_general: u32, mut restore: F) -> Self
+    where
+        F: FnMut(ViewObjectId) -> ViewObject,
+    {
+        Store {
+            low: (0..n_low)
+                .map(|i| restore(ViewObjectId::new(Importance::Low, i)))
+                .collect(),
+            high: (0..n_high)
+                .map(|i| restore(ViewObjectId::new(Importance::High, i)))
+                .collect(),
+            general: vec![0.0; n_general as usize],
+            installs: 0,
+            superseded: 0,
+        }
+    }
+
     /// Number of view objects in a class.
     #[must_use]
     pub fn class_len(&self, class: Importance) -> usize {
@@ -313,6 +338,27 @@ mod tests {
         assert_eq!(
             s.view(ViewObjectId::new(Importance::High, 0)).generation_ts,
             t(-3.0)
+        );
+    }
+
+    #[test]
+    fn restore_rebuilds_objects_and_resets_counters() {
+        let mut orig = Store::new(2, 1, 3, t(0.0));
+        orig.install(&upd(Importance::Low, 1, 2.0, 7.0));
+        let restored = Store::restore(2, 1, 3, |id| orig.view(id).clone());
+        let id = ViewObjectId::new(Importance::Low, 1);
+        assert_eq!(restored.view(id).payload, 7.0);
+        assert_eq!(restored.view(id).version, 1);
+        assert_eq!(restored.view(id).generation_ts, t(2.0));
+        assert_eq!(restored.general_len(), 3);
+        // Run counters are metrics, not state: they restart at zero.
+        assert_eq!(restored.installs(), 0);
+        assert_eq!(restored.superseded(), 0);
+        // Worthiness still applies against the restored generations.
+        let mut restored = restored;
+        assert_eq!(
+            restored.install(&upd(Importance::Low, 1, 1.5, 9.0)),
+            InstallOutcome::Superseded
         );
     }
 
