@@ -1,0 +1,116 @@
+//! Bench-gated perf harness for the sharded live runtime (DESIGN.md
+//! §15). Measures batched TCP ingest end to end against servers running
+//! 1, 2 and 4 stripes and writes a machine-readable JSON artefact
+//! (default `BENCH_8.json`; first CLI argument overrides the path).
+//!
+//! The artefact records `host_cpus`: stripe threads only scale past one
+//! core, so on a single-CPU host the sweep prices sharding *overhead*
+//! (fan-out routing, per-stripe rings, the collect-and-merge barrier),
+//! not scaling — the honest reading either way.
+//!
+//! Knobs: `PERF_LIVE_UPDATES` scales the stream (default 50 000
+//! updates), `PERF_LIVE_BATCH` the batch size (default 512).
+
+use std::fmt::Write as _;
+
+use strip_bench::live_perf::{live_ingest_striped, RateResult};
+
+fn rate_json(out: &mut String, indent: &str, r: &RateResult) {
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"name\": \"{}\",\n\
+         {indent}  \"ops\": {},\n\
+         {indent}  \"secs\": {:.6},\n\
+         {indent}  \"ops_per_sec\": {:.1},\n\
+         {indent}  \"ns_per_op\": {:.2}\n\
+         {indent}}}",
+        r.name,
+        r.ops,
+        r.secs,
+        r.ops_per_sec(),
+        r.ns_per_op(),
+    );
+}
+
+fn print_rate(r: &RateResult) {
+    eprintln!(
+        "{:<26} {:>14.0} update/s {:>9.2} ns/update",
+        r.name,
+        r.ops_per_sec(),
+        r.ns_per_op(),
+    );
+}
+
+fn env_scale(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
+    // Fail before the measurements, not after them, if the artefact path
+    // is unwritable.
+    if let Err(e) = std::fs::File::create(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    let n_updates = env_scale("PERF_LIVE_UPDATES", 50_000);
+    let batch = env_scale("PERF_LIVE_BATCH", 512);
+    let reps = 3;
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+
+    eprintln!("# sharded TCP ingest, batched ({n_updates} updates, batch {batch}, best of {reps}, host_cpus {host_cpus}) …");
+    let stripe_counts: [u32; 3] = [1, 2, 4];
+    let mut rows: Vec<(u32, RateResult)> = Vec::new();
+    for &stripes in &stripe_counts {
+        let r = live_ingest_striped(n_updates, batch, stripes, reps);
+        print_rate(&r);
+        rows.push((stripes, r));
+    }
+    let base = rows[0].1.ops_per_sec();
+    for (stripes, r) in &rows[1..] {
+        eprintln!(
+            "stripes={stripes} vs stripes=1: {:.2}x",
+            r.ops_per_sec() / base
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": 8,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"sharded live ingest: batched TCP updates/s vs stripe count \
+         (hash-partitioned store, per-stripe executor threads and SPSC rings, \
+         collect-and-merge StatsRequest barrier; 1000x-scaled cost model). Caveat: stripes \
+         only scale past one core — on a single-CPU host (host_cpus=1) the stripe threads \
+         time-slice and the sweep prices sharding overhead, not scaling.\","
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"batch_size\": {batch},");
+    json.push_str("  \"scaling\": [\n");
+    for (i, (stripes, r)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\n      \"stripes\": {stripes},\n      \"speedup_vs_one\": {:.3},\n      \"rate\":\n",
+            r.ops_per_sec() / base
+        );
+        rate_json(&mut json, "      ", r);
+        json.push_str("\n    }");
+    }
+    json.push_str("\n  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+}

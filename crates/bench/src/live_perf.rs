@@ -224,6 +224,112 @@ pub fn live_ingest_batched(n_updates: usize, max_batch: usize, reps: usize) -> R
     }
 }
 
+/// Updates/sec through the sharded live path: same batched stream as
+/// [`live_ingest_batched`], but the server runs `stripes` executor
+/// threads over a hash-partitioned store (DESIGN.md §15), so the
+/// connection reader fans each update out to its owner stripe's SPSC
+/// ring and the `StatsRequest` barrier collect-and-merges across all
+/// stripes. On a host with fewer cores than stripes the threads
+/// time-slice and the measurement prices sharding *overhead*; scaling
+/// needs `host_cpus >= stripes` (the harness records `host_cpus`).
+///
+/// # Panics
+///
+/// Panics on socket errors or when the server miscounts the stream.
+#[must_use]
+pub fn live_ingest_striped(
+    n_updates: usize,
+    max_batch: usize,
+    stripes: u32,
+    reps: usize,
+) -> RateResult {
+    let max_batch = max_batch.clamp(1, strip_live::protocol::MAX_BATCH_UPDATES);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let sim = SimConfig::builder()
+            .n_low(256)
+            .n_high(256)
+            .lambda_u(0.0)
+            .lambda_t(0.0)
+            .duration(3_600.0)
+            .warmup(0.0)
+            .policy(Policy::UpdatesFirst)
+            .stripes(stripes)
+            .costs(CostModel {
+                ips: 50.0e9,
+                ..CostModel::default()
+            })
+            .build()
+            .expect("valid striped-ingest config");
+        let cfg = LiveConfig::new(sim).expect("valid live config");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let handle = serve(&cfg, listener).expect("serve");
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+
+        let started = Instant::now();
+        write_msg(&mut stream, &Msg::CreditRequest).expect("credit request");
+        let mut credit = match read_msg(&mut stream).expect("initial grant") {
+            Some(Msg::Credit(g)) => g,
+            other => panic!("expected Credit, got {other:?}"),
+        };
+        let mut updates: Vec<WireUpdate> = Vec::with_capacity(max_batch);
+        let mut body = Vec::new();
+        let mut frame = Vec::new();
+        let mut sent = 0usize;
+        while sent < n_updates {
+            let k = max_batch.min(n_updates - sent);
+            while (credit as usize) < k {
+                match read_msg(&mut stream).expect("credit top-up") {
+                    Some(Msg::Credit(g)) => credit += g,
+                    other => panic!("expected Credit, got {other:?}"),
+                }
+            }
+            updates.clear();
+            updates.extend((sent..sent + k).map(synth_update));
+            encode_batch_body(&mut body, &updates).expect("batch within frame limit");
+            frame.clear();
+            frame.extend_from_slice(&u32::try_from(body.len()).expect("frame size").to_le_bytes());
+            frame.extend_from_slice(&body);
+            stream.write_all(&frame).expect("send batch frame");
+            credit -= k as u64;
+            sent += k;
+        }
+        write_msg(&mut stream, &Msg::StatsRequest).expect("send barrier");
+        let stats = loop {
+            match read_msg(&mut stream).expect("barrier reply") {
+                Some(Msg::Credit(_)) => {} // done sending; absorb top-ups
+                Some(Msg::StatsResponse(s)) => break s,
+                other => panic!("expected StatsResponse, got {other:?}"),
+            }
+        };
+        best = best.min(started.elapsed().as_secs_f64());
+        assert_eq!(
+            stats.ingested, n_updates as u64,
+            "merged stats must cover the whole stream across stripes"
+        );
+        drop(stream);
+        let report = handle.shutdown().expect("clean shutdown");
+        assert_eq!(report.updates.terminal_total(), report.updates.arrived);
+        if stripes > 1 {
+            assert_eq!(report.stripes.len(), stripes as usize, "per-stripe rows");
+            let per_stripe: u64 = report.stripes.iter().map(|s| s.updates.arrived).sum();
+            assert_eq!(per_stripe, n_updates as u64, "stripe counters must sum");
+        }
+    }
+    RateResult {
+        name: match stripes {
+            1 => "live/tcp_ingest_stripes_1",
+            2 => "live/tcp_ingest_stripes_2",
+            4 => "live/tcp_ingest_stripes_4",
+            8 => "live/tcp_ingest_stripes_8",
+            _ => "live/tcp_ingest_striped",
+        },
+        ops: n_updates as u64,
+        secs: best,
+    }
+}
+
 /// Layer 1 — syscall + framing: batch frames over loopback TCP into a
 /// [`FrameReader`], counting updates from the frame headers without
 /// decoding the entries. Prices `write`/`read` syscalls plus the

@@ -36,6 +36,7 @@ pub mod policy;
 pub mod ready;
 pub mod report;
 pub mod sources;
+pub mod stripe;
 pub mod txn;
 
 pub use config::{Policy, QueuePolicy, SimConfig, StalenessDef};
@@ -43,4 +44,5 @@ pub use controller::{run_simulation, Controller, Event};
 pub use fingerprint::config_fingerprint;
 pub use report::RunReport;
 pub use sources::{ScriptedTxns, ScriptedUpdates, TxnSource, UpdateSource, UpdateSpec};
+pub use stripe::StripeMap;
 pub use txn::{Transaction, TxnSpec};

@@ -249,6 +249,9 @@ pub struct DurabilityStats {
     pub wal_group_max: u64,
     /// Store snapshots sealed (atomic write-rename completed).
     pub snapshots_written: u64,
+    /// Sealed-segment rotations performed by the flusher (size-bounded
+    /// log growth; each rotation chains a new active segment).
+    pub wal_rotations: u64,
     /// WAL records replayed into the store during recovery.
     pub recovery_replayed: u64,
     /// Torn or CRC-failing tail records discarded during recovery.
@@ -333,6 +336,30 @@ impl TimelineWindow {
     }
 }
 
+/// Per-stripe slice of a sharded run (scale-out extension; empty for
+/// single-stripe runs). Carries the full counter sets of the stripe's own
+/// executor so per-stripe conservation (`updates.terminal_total() ==
+/// updates.arrived`) can be checked independently of the aggregate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StripeSummary {
+    /// Stripe index in `[0, stripes)`.
+    pub stripe: u32,
+    /// Low-importance objects owned by this stripe.
+    pub n_low: u32,
+    /// High-importance objects owned by this stripe.
+    pub n_high: u32,
+    /// The stripe's transaction accounting.
+    pub txns: TxnCounts,
+    /// The stripe's update accounting.
+    pub updates: UpdateCounts,
+    /// Stale fraction of the stripe's low partition.
+    pub fold_low: f64,
+    /// Stale fraction of the stripe's high partition.
+    pub fold_high: f64,
+    /// The stripe's WAL/snapshot/recovery accounting.
+    pub durability: DurabilityStats,
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -364,6 +391,8 @@ pub struct RunReport {
     pub durability: DurabilityStats,
     /// Per-window outcomes (extension; empty unless `timeline_window` set).
     pub timeline: Vec<TimelineWindow>,
+    /// Per-stripe slices (scale-out extension; empty unless `stripes > 1`).
+    pub stripes: Vec<StripeSummary>,
 }
 
 /// JSON string literal with the escapes required by RFC 8259.
@@ -520,17 +549,43 @@ impl RunReport {
         let d = &self.durability;
         out.push_str(&format!(
             "\"durability\":{{\"wal_appended\":{},\"wal_fsyncs\":{},\"wal_bytes\":{},\
-             \"wal_group_max\":{},\"snapshots_written\":{},\"recovery_replayed\":{},\
-             \"recovery_discarded\":{}}},",
+             \"wal_group_max\":{},\"snapshots_written\":{},\"wal_rotations\":{},\
+             \"recovery_replayed\":{},\"recovery_discarded\":{}}},",
             d.wal_appended,
             d.wal_fsyncs,
             d.wal_bytes,
             d.wal_group_max,
             d.snapshots_written,
+            d.wal_rotations,
             d.recovery_replayed,
             d.recovery_discarded,
         ));
         out.push_str(&format!("\"timeline\":[{timeline}],"));
+        let stripes = self
+            .stripes
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"stripe\":{},\"n_low\":{},\"n_high\":{},\"arrived\":{},\
+                     \"installed_total\":{},\"terminal_total\":{},\"txn_arrived\":{},\
+                     \"txn_committed\":{},\"fold_low\":{},\"fold_high\":{},\
+                     \"wal_appended\":{}}}",
+                    s.stripe,
+                    s.n_low,
+                    s.n_high,
+                    s.updates.arrived,
+                    s.updates.installed_total(),
+                    s.updates.terminal_total(),
+                    s.txns.arrived,
+                    s.txns.committed,
+                    json_f64(s.fold_low),
+                    json_f64(s.fold_high),
+                    s.durability.wal_appended,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!("\"stripes\":[{stripes}],"));
         out.push_str(&format!(
             "\"derived\":{{\"p_md\":{},\"p_success\":{},\"p_suc_nontardy\":{},\
              \"stale_read_fraction\":{},\"av\":{},\"rho_t\":{},\"rho_u\":{},\
@@ -741,10 +796,199 @@ impl RunReport {
                 wal_bytes: mu(&|r| r.durability.wal_bytes),
                 wal_group_max: mu(&|r| r.durability.wal_group_max),
                 snapshots_written: mu(&|r| r.durability.snapshots_written),
+                wal_rotations: mu(&|r| r.durability.wal_rotations),
                 recovery_replayed: mu(&|r| r.durability.recovery_replayed),
                 recovery_discarded: mu(&|r| r.durability.recovery_discarded),
             },
             timeline,
+            stripes: Vec::new(),
+        }
+    }
+
+    /// Collect-and-merge of per-stripe reports into one aggregate (the
+    /// cross-stripe barrier of the sharded runtime, and the striped
+    /// simulator's report composition).
+    ///
+    /// Unlike [`RunReport::average`] this *sums*: each stripe saw a
+    /// disjoint slice of the object space and the update stream, so the
+    /// aggregate counters are exact totals and every conservation identity
+    /// that holds per stripe holds for the merge. Response moments are
+    /// pooled with a commit-weighted Welford merge; the stale-fraction
+    /// folds are means weighted by each stripe's partition size (a stripe
+    /// owning no objects of a class contributes no weight); peak queue
+    /// lengths and the WAL group maximum take the max across stripes, and
+    /// `measured_secs` / `events_processed` take the longest stripe window
+    /// and the summed event count. The input reports are retained verbatim
+    /// as [`StripeSummary`] rows in `stripes`, indexed by position.
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty or its length differs from `shapes`.
+    #[must_use]
+    pub fn merge_stripes(parts: &[RunReport], shapes: &[(u32, u32)]) -> RunReport {
+        assert!(!parts.is_empty(), "cannot merge zero stripe reports");
+        assert_eq!(parts.len(), shapes.len(), "one shape per stripe report");
+        let su = |f: &dyn Fn(&RunReport) -> u64| -> u64 { parts.iter().map(f).sum() }; // lint: allow(raw-f64-sum, reason=u64 counter totals over disjoint stripes are exact)
+                                                                                       // lint: allow(raw-f64-sum, reason=stripe totals are exact sums of disjoint slices; pinned by the per-stripe conservation tests)
+        let sf = |f: &dyn Fn(&RunReport) -> f64| -> f64 { parts.iter().map(f).sum() };
+        let mx = |f: &dyn Fn(&RunReport) -> u64| -> u64 { parts.iter().map(f).max().unwrap_or(0) };
+        let mut pooled = Welford::new();
+        for r in parts {
+            pooled.merge(&Welford::from_moments(
+                r.txns.committed,
+                r.txns.response_mean,
+                r.txns.response_sd,
+            ));
+        }
+        // Partition-size-weighted stale folds: each stripe's fold covers
+        // only the objects it owns.
+        let weighted = |pick: &dyn Fn(&RunReport) -> f64, weight: &dyn Fn(&(u32, u32)) -> u32| {
+            let total: u64 = shapes.iter().map(|s| u64::from(weight(s))).sum(); // lint: allow(raw-f64-sum, reason=u64 partition sizes sum exactly)
+            if total == 0 {
+                return 0.0;
+            }
+            parts
+                .iter()
+                .zip(shapes)
+                .map(|(r, s)| pick(r) * f64::from(weight(s)))
+                // lint: allow(raw-f64-sum, reason=weighted mean over <=256 stripes; no catastrophic cancellation possible for values in [0,1])
+                .sum::<f64>()
+                / total as f64
+        };
+        let class = |c: usize| ClassCounts {
+            arrived: su(&|r| r.txns.by_class[c].arrived),
+            committed: su(&|r| r.txns.by_class[c].committed),
+            committed_fresh: su(&|r| r.txns.by_class[c].committed_fresh),
+        };
+        let windows = parts.iter().map(|r| r.timeline.len()).max().unwrap_or(0);
+        let timeline = (0..windows)
+            .map(|w| TimelineWindow {
+                t_start: parts
+                    .iter()
+                    .find_map(|r| r.timeline.get(w))
+                    .map_or(0.0, |t| t.t_start),
+                finished: parts
+                    .iter()
+                    .filter_map(|r| r.timeline.get(w))
+                    .map(|t| t.finished)
+                    .sum(), // lint: allow(raw-f64-sum, reason=u64 window counts over disjoint stripes are exact)
+                committed: parts
+                    .iter()
+                    .filter_map(|r| r.timeline.get(w))
+                    .map(|t| t.committed)
+                    .sum(), // lint: allow(raw-f64-sum, reason=u64 window counts over disjoint stripes are exact)
+                committed_fresh: parts
+                    .iter()
+                    .filter_map(|r| r.timeline.get(w))
+                    .map(|t| t.committed_fresh)
+                    // lint: allow(raw-f64-sum, reason=u64 window counts over disjoint stripes are exact)
+                    .sum(),
+            })
+            .collect();
+        let first = &parts[0];
+        RunReport {
+            policy: first.policy.clone(),
+            seed: first.seed,
+            duration: first.duration,
+            warmup: first.warmup,
+            txns: TxnCounts {
+                arrived: su(&|r| r.txns.arrived),
+                committed: su(&|r| r.txns.committed),
+                committed_fresh: su(&|r| r.txns.committed_fresh),
+                missed_deadline: su(&|r| r.txns.missed_deadline),
+                aborted_infeasible: su(&|r| r.txns.aborted_infeasible),
+                aborted_stale: su(&|r| r.txns.aborted_stale),
+                in_flight_at_end: su(&|r| r.txns.in_flight_at_end),
+                value_committed: sf(&|r| r.txns.value_committed),
+                stale_reads: su(&|r| r.txns.stale_reads),
+                view_reads: su(&|r| r.txns.view_reads),
+                response_mean: pooled.mean(),
+                response_sd: pooled.std_dev(),
+                by_class: [class(0), class(1)],
+            },
+            updates: UpdateCounts {
+                arrived: su(&|r| r.updates.arrived),
+                os_dropped: su(&|r| r.updates.os_dropped),
+                enqueued: su(&|r| r.updates.enqueued),
+                installed_background: su(&|r| r.updates.installed_background),
+                installed_immediate: su(&|r| r.updates.installed_immediate),
+                installed_on_demand: su(&|r| r.updates.installed_on_demand),
+                superseded_skips: su(&|r| r.updates.superseded_skips),
+                expired_dropped: su(&|r| r.updates.expired_dropped),
+                overflow_dropped: su(&|r| r.updates.overflow_dropped),
+                dedup_dropped: su(&|r| r.updates.dedup_dropped),
+                admission_shed: su(&|r| r.updates.admission_shed),
+                max_uq_len: mx(&|r| r.updates.max_uq_len),
+                max_os_len: mx(&|r| r.updates.max_os_len),
+                left_in_os: su(&|r| r.updates.left_in_os),
+                left_in_update_queue: su(&|r| r.updates.left_in_update_queue),
+                in_flight_at_end: su(&|r| r.updates.in_flight_at_end),
+            },
+            cpu: CpuStats {
+                busy_txn: sf(&|r| r.cpu.busy_txn),
+                busy_update: sf(&|r| r.cpu.busy_update),
+                measured_secs: parts
+                    .iter()
+                    .map(|r| r.cpu.measured_secs)
+                    .fold(0.0, f64::max),
+                events_processed: su(&|r| r.cpu.events_processed),
+                io_misses_reads: su(&|r| r.cpu.io_misses_reads),
+                io_misses_installs: su(&|r| r.cpu.io_misses_installs),
+            },
+            fold_low: weighted(&|r| r.fold_low, &|s| s.0),
+            fold_high: weighted(&|r| r.fold_high, &|s| s.1),
+            history: HistoryStats {
+                historical_reads: su(&|r| r.history.historical_reads),
+                misses: su(&|r| r.history.misses),
+                appends: su(&|r| r.history.appends),
+                pruned: su(&|r| r.history.pruned),
+                entries_at_end: su(&|r| r.history.entries_at_end),
+            },
+            triggers: TriggerStats {
+                fired: su(&|r| r.triggers.fired),
+                coalesced: su(&|r| r.triggers.coalesced),
+                dropped: su(&|r| r.triggers.dropped),
+                executed: su(&|r| r.triggers.executed),
+                pending_at_end: su(&|r| r.triggers.pending_at_end),
+                lag_mean: weighted(&|r| r.triggers.lag_mean, &|_| 1),
+                max_pending: mx(&|r| r.triggers.max_pending),
+            },
+            resilience: ResilienceStats {
+                duplicated: su(&|r| r.resilience.duplicated),
+                reordered: su(&|r| r.resilience.reordered),
+                outage_held: su(&|r| r.resilience.outage_held),
+                burst_grouped: su(&|r| r.resilience.burst_grouped),
+                admission_shed: su(&|r| r.resilience.admission_shed),
+                recovery_secs: parts
+                    .iter()
+                    .filter_map(|r| r.resilience.recovery_secs)
+                    .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v)))),
+            },
+            durability: DurabilityStats {
+                wal_appended: su(&|r| r.durability.wal_appended),
+                wal_fsyncs: su(&|r| r.durability.wal_fsyncs),
+                wal_bytes: su(&|r| r.durability.wal_bytes),
+                wal_group_max: mx(&|r| r.durability.wal_group_max),
+                snapshots_written: su(&|r| r.durability.snapshots_written),
+                wal_rotations: su(&|r| r.durability.wal_rotations),
+                recovery_replayed: su(&|r| r.durability.recovery_replayed),
+                recovery_discarded: su(&|r| r.durability.recovery_discarded),
+            },
+            timeline,
+            stripes: parts
+                .iter()
+                .zip(shapes)
+                .enumerate()
+                .map(|(i, (r, &(n_low, n_high)))| StripeSummary {
+                    stripe: i as u32,
+                    n_low,
+                    n_high,
+                    txns: r.txns.clone(),
+                    updates: r.updates.clone(),
+                    fold_low: r.fold_low,
+                    fold_high: r.fold_high,
+                    durability: r.durability,
+                })
+                .collect(),
         }
     }
 }

@@ -6,7 +6,7 @@
 //! untouched) all rest on determinism, and determinism erodes one
 //! convenient `HashMap` at a time. This crate walks every non-vendored
 //! workspace crate with a purpose-built lexer (the offline build has no
-//! `syn`; see [`lex`]) and enforces seven rules:
+//! `syn`; see [`lex`]) and enforces eight rules:
 //!
 //! | code | name                    | scope                                       |
 //! |------|-------------------------|---------------------------------------------|
@@ -17,6 +17,7 @@
 //! | D5   | panicking-io            | checkpoint/trace I/O: no unwrap/expect/`[]` |
 //! | D6   | raw-f64-sum             | stats-adjacent files: use Welford helpers   |
 //! | D7   | durability-boundary     | WAL/snapshot/recovery: checked I/O only; sim-path crates must not import them |
+//! | D8   | live-panic              | live runtime (non-durability files): every `unwrap`/`expect`/`panic!` needs a per-site allow naming its invariant |
 //!
 //! Violations are silenced in place with
 //! `// lint: allow(<rule>, reason=...)` (same or next line) or
@@ -119,6 +120,11 @@ pub fn rules_for(rel: &str) -> Vec<RuleId> {
     }
     if D7_DURABILITY_FILES.contains(&rel) || crate_name.is_none_or(|c| D7_SIM_CRATES.contains(&c)) {
         rules.push(RuleId::DurabilityBoundary);
+    }
+    // D8 covers the live runtime's non-durability modules; the durability
+    // files already answer to D7's stricter no-allow-needed variant.
+    if crate_name.is_some_and(|c| c == "live") && !D7_DURABILITY_FILES.contains(&rel) {
+        rules.push(RuleId::LivePanic);
     }
     rules
 }
@@ -340,6 +346,15 @@ mod tests {
         assert!(rules_for("crates/experiments/src/runner.rs").contains(&RuleId::DurabilityBoundary));
         assert!(!rules_for("crates/live/src/executor.rs").contains(&RuleId::DurabilityBoundary));
         assert!(!rules_for("crates/live/src/server.rs").contains(&RuleId::DurabilityBoundary));
+
+        // D8 pins panic sites across the live runtime except the
+        // durability files (D7's checked-I/O mode admits no allows there)
+        // and never reaches other crates.
+        assert!(rules_for("crates/live/src/executor.rs").contains(&RuleId::LivePanic));
+        assert!(rules_for("crates/live/src/server.rs").contains(&RuleId::LivePanic));
+        assert!(rules_for("crates/live/src/bin/stripd.rs").contains(&RuleId::LivePanic));
+        assert!(!rules_for("crates/live/src/wal.rs").contains(&RuleId::LivePanic));
+        assert!(!rules_for("crates/core/src/controller.rs").contains(&RuleId::LivePanic));
     }
 
     #[test]

@@ -41,13 +41,19 @@ pub enum RuleId {
     /// import them (the simulator must never grow a filesystem
     /// dependency).
     DurabilityBoundary,
+    /// D8: live-runtime panic sites — every `unwrap`/`expect`/`panic!` in
+    /// the live crate's non-durability modules must carry an explicit
+    /// per-site allow naming the invariant it stands on. Network- or
+    /// I/O-reachable failures must be checked errors; only pinned
+    /// internal invariants may panic.
+    LivePanic,
     /// Malformed `lint: allow` annotation (always on).
     BadAllow,
 }
 
 impl RuleId {
     /// Every real rule, in document order (excludes the meta rule).
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::WallClock,
         RuleId::NondeterministicOrder,
         RuleId::AmbientEntropy,
@@ -55,6 +61,7 @@ impl RuleId {
         RuleId::PanickingIo,
         RuleId::RawF64Sum,
         RuleId::DurabilityBoundary,
+        RuleId::LivePanic,
     ];
 
     /// Short code ("D1").
@@ -68,6 +75,7 @@ impl RuleId {
             RuleId::PanickingIo => "D5",
             RuleId::RawF64Sum => "D6",
             RuleId::DurabilityBoundary => "D7",
+            RuleId::LivePanic => "D8",
             RuleId::BadAllow => "A0",
         }
     }
@@ -83,6 +91,7 @@ impl RuleId {
             RuleId::PanickingIo => "panicking-io",
             RuleId::RawF64Sum => "raw-f64-sum",
             RuleId::DurabilityBoundary => "durability-boundary",
+            RuleId::LivePanic => "live-panic",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -122,6 +131,11 @@ impl RuleId {
             RuleId::DurabilityBoundary => {
                 "durability boundary breach (checked I/O only in WAL/snapshot/recovery; \
                  sim-path crates must not import them)"
+            }
+            RuleId::LivePanic => {
+                "unpinned panic site in the live runtime (convert reachable failures to \
+                 checked errors, or pin the invariant with `// lint: allow(live-panic, \
+                 reason=...)`)"
             }
             RuleId::BadAllow => "malformed `lint: allow` annotation (missing rule or reason=)",
         }
@@ -552,6 +566,41 @@ pub fn analyze_source(file: &str, src: &str, rules: &[RuleId]) -> Vec<Violation>
                     &mut out,
                 );
             }
+            // D8: the live runtime serves real traffic unattended; a
+            // panic anywhere in it takes a stripe executor (and the run's
+            // accounting) down. Every surviving panic site must name the
+            // invariant it stands on in a per-site allow, so new ones
+            // cannot slip in unexamined. Tests are exempt.
+            "unwrap" | "expect"
+                if rules.contains(&RuleId::LivePanic)
+                    && prev_is_dot
+                    && !exempt(RuleId::LivePanic, t.line) =>
+            {
+                fire(
+                    RuleId::LivePanic,
+                    t,
+                    format!(
+                        "`.{}()` in live-runtime code; use a checked error or pin the \
+                         invariant with an allow",
+                        t.text
+                    ),
+                    &mut out,
+                );
+            }
+            "panic"
+                if rules.contains(&RuleId::LivePanic)
+                    && tokens.get(i + 1).is_some_and(|x| x.is_punct('!'))
+                    && !exempt(RuleId::LivePanic, t.line) =>
+            {
+                fire(
+                    RuleId::LivePanic,
+                    t,
+                    "`panic!` in live-runtime code; use a checked error or pin the \
+                     invariant with an allow"
+                        .to_string(),
+                    &mut out,
+                );
+            }
             "sum"
                 if rules.contains(&RuleId::RawF64Sum)
                     && prev_is_dot
@@ -690,15 +739,68 @@ mod tests {\n\
 
     #[test]
     fn d5_catches_unwrap_expect_panic_indexing() {
-        let v = run("fn f(xs: &[u8]) { xs.first().unwrap(); }\n");
+        let only = [RuleId::PanickingIo];
+        let v = analyze_source(
+            "test.rs",
+            "fn f(xs: &[u8]) { xs.first().unwrap(); }\n",
+            &only,
+        );
         assert_eq!(v.len(), 1);
-        let v = run("fn f() { panic!(\"boom\"); }\n");
+        let v = analyze_source("test.rs", "fn f() { panic!(\"boom\"); }\n", &only);
         assert_eq!(v.len(), 1);
-        let v = run("fn f(xs: &[u8], i: usize) -> u8 { xs[i] }\n");
+        let v = analyze_source(
+            "test.rs",
+            "fn f(xs: &[u8], i: usize) -> u8 { xs[i] }\n",
+            &only,
+        );
         assert_eq!(v.len(), 1, "{v:?}");
         // Array types, attributes and vec! are not indexing.
-        assert!(run("#[derive(Debug)]\nstruct S { a: [u8; 4] }\n").is_empty());
-        assert!(run("fn f() { let _ = vec![1, 2]; }\n").is_empty());
+        let v = analyze_source(
+            "test.rs",
+            "#[derive(Debug)]\nstruct S { a: [u8; 4] }\n",
+            &only,
+        );
+        assert!(v.is_empty());
+        let v = analyze_source("test.rs", "fn f() { let _ = vec![1, 2]; }\n", &only);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn d8_requires_pinned_allows_outside_tests() {
+        let only = [RuleId::LivePanic];
+        let v = analyze_source(
+            "crates/live/src/executor.rs",
+            "fn f(r: Option<u8>) -> u8 { r.expect(\"x\") }\n",
+            &only,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::LivePanic);
+        let v = analyze_source(
+            "crates/live/src/executor.rs",
+            "fn f() { panic!(\"boom\"); }\n",
+            &only,
+        );
+        assert_eq!(v.len(), 1);
+        // A per-site pin naming the invariant silences it.
+        let v = analyze_source(
+            "crates/live/src/executor.rs",
+            "fn f(r: Option<u8>) -> u8 {\n    // lint: allow(live-panic, reason=peeked above)\n    r.expect(\"x\")\n}\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // Tests are exempt; checked combinators never fire.
+        let v = analyze_source(
+            "crates/live/src/executor.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = analyze_source(
+            "crates/live/src/executor.rs",
+            "fn f(r: Option<u8>) -> u8 { r.unwrap_or(0) }\n",
+            &only,
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -10,11 +10,16 @@
 //! crash, `--recover` replays the snapshot + WAL tail before the listener
 //! binds. See DESIGN.md §14.
 //!
+//! With `--stripes N` the object space is hash-partitioned across N
+//! executor threads, each with its own queues, staleness tracker, and
+//! (under `--wal`) its own `stripe-<s>/` WAL directory; recovery replays
+//! the stripes independently. See DESIGN.md §15.
+//!
 //! ```text
 //! stripd [--addr 127.0.0.1:7411] [--policy uf|tf|su|od] \
 //!        [--staleness ma|uu|either] [--max-age SECS] [--quantum-us US] \
-//!        [--n-low N] [--n-high N] [--warmup SECS] [--seed N] \
-//!        [--wal DIR] [--fsync always|group:<us>|off] \
+//!        [--n-low N] [--n-high N] [--stripes N] [--warmup SECS] [--seed N] \
+//!        [--wal DIR] [--fsync always|group:<us>|off] [--wal-rotate BYTES] \
 //!        [--snapshot-secs SECS] [--recover]
 //! ```
 
@@ -37,10 +42,12 @@ struct Args {
     quantum_us: u64,
     n_low: u32,
     n_high: u32,
+    stripes: u32,
     warmup: f64,
     seed: u64,
     wal_dir: Option<String>,
     fsync: FsyncPolicy,
+    wal_rotate: u64,
     snapshot_secs: f64,
     recover: bool,
 }
@@ -54,10 +61,12 @@ fn parse_args() -> Result<Args, String> {
         quantum_us: 500,
         n_low: 500,
         n_high: 500,
+        stripes: 1,
         warmup: 0.0,
         seed: 0x5712_1995,
         wal_dir: None,
         fsync: FsyncPolicy::Group(1_000),
+        wal_rotate: strip_live::wal::DEFAULT_ROTATE_BYTES,
         snapshot_secs: 5.0,
         recover: false,
     };
@@ -87,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             "--quantum-us" => args.quantum_us = parse_num(&val()?, &flag)?,
             "--n-low" => args.n_low = parse_num(&val()?, &flag)?,
             "--n-high" => args.n_high = parse_num(&val()?, &flag)?,
+            "--stripes" => args.stripes = parse_num(&val()?, &flag)?,
             "--warmup" => args.warmup = parse_num(&val()?, &flag)?,
             "--seed" => args.seed = parse_num(&val()?, &flag)?,
             "--wal" => args.wal_dir = Some(val()?),
@@ -95,13 +105,14 @@ fn parse_args() -> Result<Args, String> {
                 args.fsync = FsyncPolicy::parse(&v)
                     .ok_or_else(|| format!("unknown fsync policy `{v}` (always|group:<us>|off)"))?;
             }
+            "--wal-rotate" => args.wal_rotate = parse_num(&val()?, &flag)?,
             "--snapshot-secs" => args.snapshot_secs = parse_num(&val()?, &flag)?,
             "--recover" => args.recover = true,
             "--help" | "-h" => {
                 return Err("usage: stripd [--addr A] [--policy uf|tf|su|od] \
                      [--staleness ma|uu|either] [--max-age S] [--quantum-us US] \
-                     [--n-low N] [--n-high N] [--warmup S] [--seed N] \
-                     [--wal DIR] [--fsync always|group:<us>|off] \
+                     [--n-low N] [--n-high N] [--stripes N] [--warmup S] [--seed N] \
+                     [--wal DIR] [--fsync always|group:<us>|off] [--wal-rotate BYTES] \
                      [--snapshot-secs S] [--recover]"
                     .to_string())
             }
@@ -131,6 +142,7 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
         .lambda_t(0.0)
         .n_low(a.n_low)
         .n_high(a.n_high)
+        .stripes(a.stripes)
         .policy(a.policy)
         .staleness(staleness)
         .max_age(a.max_age)
@@ -167,22 +179,37 @@ fn main() -> ExitCode {
         cfg.durability = Some(DurabilityConfig {
             dir: dir.into(),
             fsync: args.fsync,
+            rotate_bytes: args.wal_rotate,
             snapshot_secs: args.snapshot_secs,
             recover: args.recover,
         });
     }
     // Recover before binding: a recovering server is never half-visible.
+    // Each stripe replays its own snapshot + segment chain.
     let recovered = if args.recover {
-        match recovery::recover(&cfg) {
-            Ok(r) => {
-                println!(
-                    "stripd recovered: snapshot={} replayed={} discarded={} next_seq={}",
-                    if r.snapshot_loaded { "loaded" } else { "none" },
-                    r.replayed,
-                    r.discarded,
-                    r.next_seq
-                );
-                Some(r)
+        match recovery::recover_all(&cfg) {
+            Ok(parts) => {
+                if parts.len() == 1 {
+                    let r = &parts[0];
+                    println!(
+                        "stripd recovered: snapshot={} replayed={} discarded={} next_seq={}",
+                        if r.snapshot_loaded { "loaded" } else { "none" },
+                        r.replayed,
+                        r.discarded,
+                        r.next_seq
+                    );
+                } else {
+                    for (s, r) in parts.iter().enumerate() {
+                        println!(
+                            "stripd recovered stripe={s}: snapshot={} replayed={} discarded={} next_seq={}",
+                            if r.snapshot_loaded { "loaded" } else { "none" },
+                            r.replayed,
+                            r.discarded,
+                            r.next_seq
+                        );
+                    }
+                }
+                Some(parts)
             }
             Err(e) => {
                 eprintln!("recover: {e}");
@@ -222,13 +249,14 @@ fn main() -> ExitCode {
             });
     }
     println!(
-        "stripd listening on {} policy={} staleness={} quantum={}us wal={} fsync={}",
+        "stripd listening on {} policy={} staleness={} quantum={}us wal={} fsync={} stripes={}",
         handle.addr(),
         cfg.sim.policy.label(),
         args.staleness,
         args.quantum_us,
         args.wal_dir.as_deref().unwrap_or("off"),
-        args.fsync
+        args.fsync,
+        args.stripes
     );
     match handle.wait() {
         Ok(report) => {

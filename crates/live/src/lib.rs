@@ -56,11 +56,11 @@ pub mod spsc;
 pub mod wal;
 
 pub use clock::LiveClock;
-pub use executor::{Executor, Ingest, LiveConfig, LiveConfigError};
+pub use executor::{stripe_configs, Executor, Ingest, LiveConfig, LiveConfigError};
 pub use loadgen::{replay, replay_batched, LoadgenSummary};
 pub use protocol::{
     FrameReader, Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate,
 };
-pub use recovery::{recover, Recovered};
+pub use recovery::{recover, recover_all, Recovered};
 pub use server::{serve, serve_recovered, stats_from_report, ServerHandle, ShutdownTrigger};
 pub use wal::{DurabilityConfig, FsyncPolicy, WalHandle};

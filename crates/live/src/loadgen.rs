@@ -108,22 +108,22 @@ impl Merged {
         match (&self.next_update, &self.next_txn) {
             (None, None) => None,
             (Some(_), None) => {
-                let u = self.next_update.take().expect("checked update");
+                let u = self.next_update.take().expect("checked update"); // lint: allow(live-panic, reason=taken only after the peek that filled it)
                 self.next_update = self.updates.next_update();
                 Some(Arrival::Update(u))
             }
             (None, Some(_)) => {
-                let t = self.next_txn.take().expect("checked txn");
+                let t = self.next_txn.take().expect("checked txn"); // lint: allow(live-panic, reason=taken only after the peek that filled it)
                 self.next_txn = self.txns.next_txn();
                 Some(Arrival::Txn(t))
             }
             (Some(u), Some(t)) => {
                 if u.arrival <= t.arrival {
-                    let u = self.next_update.take().expect("checked update");
+                    let u = self.next_update.take().expect("checked update"); // lint: allow(live-panic, reason=taken only after the peek that filled it)
                     self.next_update = self.updates.next_update();
                     Some(Arrival::Update(u))
                 } else {
-                    let t = self.next_txn.take().expect("checked txn");
+                    let t = self.next_txn.take().expect("checked txn"); // lint: allow(live-panic, reason=taken only after the peek that filled it)
                     self.next_txn = self.txns.next_txn();
                     Some(Arrival::Txn(t))
                 }

@@ -372,15 +372,29 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        // `take(4)` yields exactly 4 bytes, but this cursor decodes
+        // network input — stay checked rather than panic on a slip.
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| ProtoError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| ProtoError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn i64(&mut self) -> Result<i64, ProtoError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| ProtoError::Truncated)?;
+        Ok(i64::from_le_bytes(bytes))
     }
 
     fn f64(&mut self) -> Result<f64, ProtoError> {
@@ -694,6 +708,23 @@ impl FrameReader {
         Ok(Some(&self.buf[body_start..body_start + len]))
     }
 
+    /// Little-endian length prefix at the read position. Callers have
+    /// checked that 4 bytes are buffered; this decodes network input, so
+    /// a bookkeeping slip surfaces as `InvalidData`, not a panic.
+    fn len_prefix(&self) -> io::Result<usize> {
+        let bytes: [u8; 4] = self
+            .buf
+            .get(self.start..self.start + 4)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame length prefix out of bounds",
+                )
+            })?;
+        Ok(u32::from_le_bytes(bytes) as usize)
+    }
+
     /// Locates a complete buffered frame without consuming it, as
     /// `(body offset, body length)`.
     fn peek_frame(&self) -> io::Result<Option<(usize, usize)>> {
@@ -701,8 +732,7 @@ impl FrameReader {
         if avail < 4 {
             return Ok(None);
         }
-        let len =
-            u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap()) as usize;
+        let len = self.len_prefix()?;
         if len > MAX_FRAME {
             return Err(ProtoError::TooLarge(len).into());
         }
@@ -724,9 +754,7 @@ impl FrameReader {
         // Room needed for the frame currently being assembled (4 bytes
         // until its length prefix is complete).
         let needed = if avail >= 4 {
-            let len = u32::from_le_bytes(self.buf[self.start..self.start + 4].try_into().unwrap())
-                as usize;
-            4 + len.min(MAX_FRAME)
+            4 + self.len_prefix()?.min(MAX_FRAME)
         } else {
             4
         };

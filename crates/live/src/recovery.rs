@@ -7,12 +7,18 @@
 //!    a [`Store`] and the first sequence number it does not cover. No
 //!    snapshot means recovery starts from the configured initial store at
 //!    sequence 0 (a WAL-only crash early in a run).
-//! 2. **Replay** — scan `wal.seg` ([`crate::wal::scan_segment`]): verify
-//!    the header against the running config's fingerprint, keep the
-//!    longest valid record prefix, and re-`install` every update with a
-//!    sequence at or past the snapshot's edge. Installs go through the
-//!    same worthiness check as live traffic, so replay is idempotent and
-//!    order-insensitive with respect to superseded generations.
+//! 2. **Replay** — scan the segment chain in log order: every sealed
+//!    (rotated) segment ascending by rotation index, then the active
+//!    `wal.seg` last ([`crate::wal::scan_segment`] per segment). Each
+//!    header is verified against the running config's fingerprint and
+//!    the chain's `base_seq` continuity is enforced; within a segment
+//!    the longest valid record prefix is kept. A torn tail is legal only
+//!    in the *final* segment — rotation seals and fsyncs every chained
+//!    link before the next one exists — so corruption inside a sealed
+//!    link aborts recovery rather than silently skipping records.
+//!    Re-`install`s go through the same worthiness check as live
+//!    traffic, so replay is idempotent and order-insensitive with
+//!    respect to superseded generations.
 //! 3. **Re-base** — write a fresh snapshot of the recovered store
 //!    (atomically) so the caller can truncate the segment without ever
 //!    holding state only the old segment proves.
@@ -30,9 +36,9 @@ use strip_db::store::Store;
 use strip_db::update::Update;
 
 use crate::clock::LiveClock;
-use crate::executor::{initial_store, LiveConfig};
+use crate::executor::{initial_store, stripe_configs, LiveConfig};
 use crate::snapshot;
-use crate::wal::{self, REC_UPDATE, SEGMENT_FILE};
+use crate::wal::{self, REC_SEAL, REC_UPDATE, SEGMENT_FILE};
 
 /// Outcome of [`recover`]: the rebuilt store plus replay accounting.
 #[derive(Debug)]
@@ -97,47 +103,66 @@ pub fn recover(cfg: &LiveConfig) -> io::Result<Recovered> {
         None => (initial_store(&cfg.sim), 0, false),
     };
 
-    // Phase 2: WAL tail replay.
+    // Phase 2: WAL chain replay — sealed links ascending, active tail
+    // last. A crash can land between a rotation's rename and the new
+    // active segment's creation, so a missing `wal.seg` contributes
+    // nothing rather than erroring.
     let mut replayed = 0u64;
     let mut discarded = 0u64;
-    match std::fs::read(dur.dir.join(SEGMENT_FILE)) {
-        Ok(bytes) => {
-            let scan = wal::scan_segment(&bytes, fingerprint)?;
-            discarded = scan.discarded;
-            for rec in &scan.records {
-                if rec.kind != REC_UPDATE || rec.seq < next_seq {
-                    // Seal markers carry no state; records below the
-                    // snapshot edge are already folded into the image.
-                    continue;
-                }
-                let w = rec.update;
-                let Some(class) = Importance::from_index(w.class as usize) else {
-                    discarded += 1;
-                    continue;
-                };
-                let n = match class {
-                    Importance::Low => cfg.sim.n_low,
-                    Importance::High => cfg.sim.n_high,
-                };
-                if w.index >= n {
-                    discarded += 1;
-                    continue;
-                }
-                let update = Update {
-                    seq: rec.seq,
-                    object: ViewObjectId::new(class, w.index),
-                    generation_ts: LiveClock::micros_to_sim(w.generation_micros),
-                    arrival_ts: LiveClock::micros_to_sim(rec.arrival_micros),
-                    payload: w.payload,
-                    attr_mask: w.attr_mask,
-                };
-                let _ = store.install(&update); // worthiness decides
-                replayed += 1;
-                next_seq = rec.seq + 1;
-            }
+    let mut chain: Vec<(std::path::PathBuf, bool)> = wal::list_rotated(&dur.dir)?
+        .into_iter()
+        .map(|(_, path)| (path, false))
+        .collect();
+    chain.push((dur.dir.join(SEGMENT_FILE), true));
+    for (path, is_final) in chain {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound && is_final => continue,
+            Err(e) => return Err(e),
+        };
+        let scan = wal::scan_segment(&bytes, fingerprint)?;
+        if !is_final && (!scan.sealed || scan.discarded > 0) {
+            // Rotation fsyncs the seal before chaining the next link; an
+            // unsealed or torn interior segment means records this chain
+            // claims to hold are unrecoverable.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsealed or torn interior WAL segment {}", path.display()),
+            ));
         }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e),
+        discarded += scan.discarded;
+        for rec in &scan.records {
+            if rec.kind == REC_SEAL || rec.seq < next_seq {
+                // Seal markers carry no state; records below the
+                // snapshot edge are already folded into the image.
+                continue;
+            }
+            debug_assert_eq!(rec.kind, REC_UPDATE);
+            let w = rec.update;
+            let Some(class) = Importance::from_index(w.class as usize) else {
+                discarded += 1;
+                continue;
+            };
+            let n = match class {
+                Importance::Low => cfg.sim.n_low,
+                Importance::High => cfg.sim.n_high,
+            };
+            if w.index >= n {
+                discarded += 1;
+                continue;
+            }
+            let update = Update {
+                seq: rec.seq,
+                object: ViewObjectId::new(class, w.index),
+                generation_ts: LiveClock::micros_to_sim(w.generation_micros),
+                arrival_ts: LiveClock::micros_to_sim(rec.arrival_micros),
+                payload: w.payload,
+                attr_mask: w.attr_mask,
+            };
+            let _ = store.install(&update); // worthiness decides
+            replayed += 1;
+            next_seq = rec.seq + 1;
+        }
     }
 
     // Phase 3: re-base, so the caller's fresh segment (base_seq =
@@ -152,4 +177,20 @@ pub fn recover(cfg: &LiveConfig) -> io::Result<Recovered> {
         discarded,
         snapshot_loaded,
     })
+}
+
+/// Sharded recovery: runs [`recover`] once per stripe, each against its
+/// own `stripe-<s>/` durability subdirectory and stripe-local
+/// configuration (see [`stripe_configs`]), in stripe order. Stripes are
+/// independent failure domains — each replays its own chain — so the
+/// result vector lines up index-for-index with the executors
+/// `serve_recovered` will start. For `stripes <= 1` this is exactly one
+/// [`recover`] over the flat directory.
+///
+/// # Errors
+///
+/// The first failing stripe aborts the whole recovery: booting with a
+/// partial store would silently violate cross-stripe conservation.
+pub fn recover_all(cfg: &LiveConfig) -> io::Result<Vec<Recovered>> {
+    stripe_configs(cfg).iter().map(recover).collect()
 }

@@ -23,6 +23,9 @@ struct Server {
     addr: String,
     /// The `stripd recovered: ...` line, when started with `--recover`.
     recovered_line: Option<String>,
+    /// All recovery banners — one `stripd recovered stripe=<s>: ...` line
+    /// per stripe on a sharded server, or the single line above.
+    recovered_lines: Vec<String>,
 }
 
 /// A panicking assertion must not leak the child: an orphaned stripd
@@ -56,12 +59,16 @@ impl Server {
             .expect("spawn stripd");
         let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
         let mut recovered_line = None;
+        let mut recovered_lines = Vec::new();
         let addr = loop {
             let mut line = String::new();
             let n = stdout.read_line(&mut line).expect("read stripd banner");
             assert!(n > 0, "stripd exited before listening");
             if line.starts_with("stripd recovered:") {
                 recovered_line = Some(line.trim().to_string());
+                recovered_lines.push(line.trim().to_string());
+            } else if line.starts_with("stripd recovered stripe=") {
+                recovered_lines.push(line.trim().to_string());
             } else if let Some(rest) = line.strip_prefix("stripd listening on ") {
                 break rest
                     .split_whitespace()
@@ -75,6 +82,7 @@ impl Server {
             stdout,
             addr,
             recovered_line,
+            recovered_lines,
         }
     }
 
@@ -277,6 +285,117 @@ fn recovery_composes_snapshot_base_with_wal_tail() {
     let mut stream = server.connect();
     assert_state_matches(&mut stream, &expected);
     server.shutdown(&mut stream);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `key=value` integer field out of a recovery banner line.
+fn banner_field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= in banner: {line}"))
+}
+
+#[test]
+fn killed_striped_server_recovers_every_acked_update_across_stripes() {
+    let dir = temp_wal_dir("stripe-recover");
+    const STRIPES: usize = 4;
+
+    // Phase 1: a 4-stripe server, each stripe with its own WAL segment
+    // chain under stripe-<s>/. Snapshot cadence pinned out of the way so
+    // the per-stripe replay counts below are exact.
+    let server = Server::spawn(
+        &dir,
+        &[
+            "--stripes",
+            "4",
+            "--fsync",
+            "group:250us",
+            "--snapshot-secs",
+            "3600",
+        ],
+    );
+    let mut stream = server.connect();
+    let sent = 96u32;
+    let expected = send_burst(&mut stream, 0, sent);
+    ack_barrier(&mut stream, u64::from(sent));
+    drop(stream);
+    server.kill9();
+
+    // Every stripe must have its own durability directory and segment.
+    for s in 0..STRIPES {
+        assert!(
+            dir.join(format!("stripe-{s}")).join("wal.seg").is_file(),
+            "stripe {s} has no WAL segment"
+        );
+    }
+
+    // Phase 2: recover. Stripes replay independently; the banners must
+    // account for every acked update with nothing discarded, and the
+    // recovered state must match object for object through the router.
+    let server = Server::spawn(
+        &dir,
+        &[
+            "--stripes",
+            "4",
+            "--fsync",
+            "group:250us",
+            "--snapshot-secs",
+            "3600",
+            "--recover",
+        ],
+    );
+    assert_eq!(
+        server.recovered_lines.len(),
+        STRIPES,
+        "one recovery banner per stripe: {:?}",
+        server.recovered_lines
+    );
+    let replayed: u64 = server
+        .recovered_lines
+        .iter()
+        .map(|l| banner_field(l, "replayed"))
+        .sum();
+    let discarded: u64 = server
+        .recovered_lines
+        .iter()
+        .map(|l| banner_field(l, "discarded"))
+        .sum();
+    assert_eq!(
+        replayed,
+        u64::from(sent),
+        "acked updates went missing: {:?}",
+        server.recovered_lines
+    );
+    assert_eq!(discarded, 0, "{:?}", server.recovered_lines);
+
+    let page = scrape_metrics(&server);
+    assert_eq!(
+        metric(&page, "strip_live_recovery_replayed_total "),
+        u64::from(sent),
+        "merged report must sum per-stripe replay"
+    );
+    for s in 0..STRIPES {
+        assert!(
+            page.contains(&format!(
+                "strip_live_stripe_updates_ingested{{stripe=\"{s}\"}}"
+            )),
+            "missing per-stripe series for stripe {s}:\n{page}"
+        );
+    }
+
+    let mut stream = server.connect();
+    assert_state_matches(&mut stream, &expected);
+
+    // Still a full server after recovery: more traffic, orderly exit.
+    let more = send_burst(&mut stream, 1_000, 8);
+    ack_barrier(&mut stream, 8);
+    assert_state_matches(&mut stream, &more);
+    let report = server.shutdown(&mut stream);
+    assert!(
+        report.contains("\"stripes\"") && report.contains("\"durability\""),
+        "merged report lacks stripe accounting: {report}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

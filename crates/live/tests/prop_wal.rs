@@ -4,10 +4,14 @@
 //! any byte offset — the invariants crash recovery stands on.
 
 use proptest::prelude::*;
+use strip_core::config::SimConfig;
+use strip_core::config_fingerprint;
 use strip_live::protocol::WireUpdate;
 use strip_live::wal::{
-    scan_segment, SegmentHeader, WalError, WalRecord, HDR_LEN, REC_LEN, REC_SEAL,
+    rotated_segment_name, scan_segment, DurabilityConfig, SegmentHeader, WalError, WalRecord,
+    HDR_LEN, REC_LEN, REC_SEAL, SEGMENT_FILE,
 };
+use strip_live::{recover, LiveConfig};
 
 fn update_strategy() -> impl Strategy<Value = WireUpdate> {
     (
@@ -142,5 +146,139 @@ proptest! {
             scan_segment(&bytes, fingerprint + 1),
             Err(WalError::FingerprintMismatch { .. })
         ));
+    }
+}
+
+/// A live config over a tiny store, durable into `dir`, for driving
+/// `recover()` against hand-written segment chains.
+fn chain_config(dir: &std::path::Path) -> LiveConfig {
+    let sim = SimConfig::builder()
+        .n_low(8)
+        .n_high(8)
+        .lambda_u(0.0)
+        .lambda_t(0.0)
+        .build()
+        .expect("valid config");
+    let mut cfg = LiveConfig::with_quantum(sim, 500e-6).expect("valid live config");
+    cfg.durability = Some(DurabilityConfig::new(dir));
+    cfg
+}
+
+/// An update record that recovery will accept (class and index inside the
+/// `chain_config` store shape), with sequence numbers assigned in order.
+fn chain_update(seq: u64) -> WalRecord {
+    WalRecord::update(
+        seq,
+        WireUpdate {
+            class: (seq % 2) as u8,
+            index: (seq % 8) as u32,
+            generation_micros: (seq as i64) * 1_000,
+            payload: seq as f64,
+            attr_mask: u64::MAX,
+        },
+        (seq as i64) * 1_000 + 7,
+    )
+}
+
+fn fresh_chain_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "strip-wal-chain-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+proptest! {
+    // The full rotation contract, end to end through `recover()`: a chain
+    // of sealed links followed by an active segment torn at an arbitrary
+    // byte (including exactly at a record boundary) must replay every
+    // record in every sealed link plus the longest valid prefix of the
+    // tail, discard at most the one torn record, and leave `next_seq`
+    // pointing one past the last replayed update.
+    #[test]
+    fn recovery_replays_rotated_chain_and_tolerates_torn_tail(
+        per_link in prop::collection::vec(1usize..6, 0..4),
+        tail in 0usize..8,
+        cut_back in 0usize..REC_LEN * 2,
+    ) {
+        let dir = fresh_chain_dir("replay");
+        let cfg = chain_config(&dir);
+        let fingerprint = config_fingerprint(&cfg.sim);
+
+        let mut seq = 0u64;
+        for (idx, n) in per_link.iter().enumerate() {
+            let mut records: Vec<WalRecord> = (0..*n)
+                .map(|_| {
+                    let r = chain_update(seq);
+                    seq += 1;
+                    r
+                })
+                .collect();
+            let base = records[0].seq;
+            records.push(WalRecord::seal(seq));
+            std::fs::write(
+                dir.join(rotated_segment_name(idx as u64)),
+                encode_segment(fingerprint, base, &records),
+            )
+            .expect("write link");
+        }
+        let chain_records = seq;
+        let active: Vec<WalRecord> = (0..tail)
+            .map(|_| {
+                let r = chain_update(seq);
+                seq += 1;
+                r
+            })
+            .collect();
+        let mut bytes = encode_segment(fingerprint, chain_records, &active);
+        let cut = bytes.len().saturating_sub(cut_back).max(HDR_LEN);
+        bytes.truncate(cut);
+        std::fs::write(dir.join(SEGMENT_FILE), &bytes).expect("write active");
+
+        let rec = recover(&cfg).expect("chain recovers");
+        let whole_tail = ((cut - HDR_LEN) / REC_LEN) as u64;
+        prop_assert_eq!(rec.replayed, chain_records + whole_tail);
+        prop_assert_eq!(
+            rec.discarded,
+            u64::from(!(cut - HDR_LEN).is_multiple_of(REC_LEN))
+        );
+        prop_assert_eq!(rec.next_seq, rec.replayed);
+        prop_assert!(!rec.snapshot_loaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn recovery_rejects_torn_or_unsealed_interior_link() {
+    // Rotation seals and fsyncs a link before the next one exists, so an
+    // interior link that is torn (or missing its seal) means acknowledged
+    // records are gone; recovery must refuse rather than skip silently.
+    for unsealed in [false, true] {
+        let dir = fresh_chain_dir("torn");
+        let cfg = chain_config(&dir);
+        let fingerprint = config_fingerprint(&cfg.sim);
+        let mut records: Vec<WalRecord> = (0..3).map(chain_update).collect();
+        if !unsealed {
+            records.push(WalRecord::seal(3));
+        }
+        let mut link = encode_segment(fingerprint, 0, &records);
+        if !unsealed {
+            let torn = link.len() - REC_LEN / 2; // tear the seal itself
+            link.truncate(torn);
+        }
+        std::fs::write(dir.join(rotated_segment_name(0)), link).expect("write link");
+        std::fs::write(
+            dir.join(SEGMENT_FILE),
+            encode_segment(fingerprint, 3, &[WalRecord::seal(3)]),
+        )
+        .expect("write active");
+        let err = recover(&cfg).expect_err("interior damage must abort");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -18,10 +18,12 @@
 pub mod disturbance;
 pub mod generators;
 pub mod scenarios;
+pub mod striped;
 pub mod trace;
 
 pub use disturbance::DisturbedUpdates;
 pub use generators::{PeriodicUpdates, PoissonTxns, PoissonUpdates, UpdateStream};
+pub use striped::run_paper_sim_striped;
 pub use trace::Trace;
 
 use strip_core::config::{ConfigError, SimConfig};
