@@ -4,9 +4,11 @@
 //! The reproduction's headline guarantees (bit-identical golden traces,
 //! checkpoint fingerprints, disturbance substreams that leave baselines
 //! untouched) all rest on determinism, and determinism erodes one
-//! convenient `HashMap` at a time. This crate walks every non-vendored
-//! workspace crate with a purpose-built lexer (the offline build has no
-//! `syn`; see [`lex`]) and enforces eight rules:
+//! convenient `HashMap` at a time. The live runtime adds a second
+//! failure axis: lock-free publication protocols whose memory orderings
+//! are correct only as a set, never one line at a time. This crate walks
+//! every non-vendored workspace crate with a purpose-built lexer (the
+//! offline build has no `syn`; see [`lex`]) and enforces eleven rules:
 //!
 //! | code | name                    | scope                                       |
 //! |------|-------------------------|---------------------------------------------|
@@ -18,6 +20,13 @@
 //! | D6   | raw-f64-sum             | stats-adjacent files: use Welford helpers   |
 //! | D7   | durability-boundary     | WAL/snapshot/recovery: checked I/O only; sim-path crates must not import them |
 //! | D8   | live-panic              | live runtime (non-durability files): every `unwrap`/`expect`/`panic!` needs a per-site allow naming its invariant |
+//! | D9   | atomic-protocol         | everywhere scanned: every `Ordering::*` site must match its field's declared role in `crates/lint/sync_protocol.toml` |
+//! | D10  | lock-order              | everywhere scanned: `.lock()` only on registered Mutexes; nested acquisitions ascend in rank |
+//! | D11  | send-sync-audit         | everywhere scanned: `unsafe impl Send/Sync` needs a registry entry naming its invariant |
+//!
+//! D9–D11 are cross-file: they check the code against the sync-site
+//! registry (see [`registry`] and [`sync`]) and fail on stale registry
+//! entries too, so coverage is two-way by construction.
 //!
 //! Violations are silenced in place with
 //! `// lint: allow(<rule>, reason=...)` (same or next line) or
@@ -25,12 +34,15 @@
 //! See DESIGN.md §11 for the full rationale.
 
 pub mod lex;
+pub mod registry;
 pub mod rules;
+pub mod sync;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 pub use rules::{analyze_source, RuleId, Violation};
+pub use sync::{analyze_sync, REGISTRY_PATH};
 
 /// Directories under `crates/` that are vendored stand-ins for registry
 /// crates (the build environment is offline). They are third-party idiom,
@@ -179,31 +191,125 @@ pub fn relative_label(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Scans the workspace at `root`, applying each file's rule set (optionally
-/// intersected with `only`). Violations come back sorted by (file, line,
-/// col).
+/// Scans the workspace at `root`: the per-file rules D1–D8 under each
+/// file's applicability set, then the cross-file sync rules D9–D11 over
+/// every scanned file against the registry at
+/// [`REGISTRY_PATH`](sync::REGISTRY_PATH). A missing or unparsable
+/// registry is itself a violation — the sync gate must never silently
+/// turn off. `only` restricts both passes. Violations come back sorted
+/// by (file, line, rule, col).
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors (unreadable file or directory).
 pub fn scan_workspace(root: &Path, only: Option<&[RuleId]>) -> std::io::Result<Vec<Violation>> {
     let mut all = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in scan_targets(root)? {
         let rel = relative_label(root, &path);
+        let src = std::fs::read_to_string(&path)?;
         let mut rules = rules_for(&rel);
         if let Some(filter) = only {
             rules.retain(|r| filter.contains(r));
         }
-        if rules.is_empty() {
-            continue;
+        if !rules.is_empty() {
+            all.extend(analyze_source(&rel, &src, &rules));
         }
-        let src = std::fs::read_to_string(&path)?;
-        all.extend(analyze_source(&rel, &src, &rules));
+        sources.push((rel, src));
     }
+
+    let sync_wanted = only.is_none_or(|f| f.iter().any(|r| RuleId::SYNC.contains(r)));
+    if sync_wanted {
+        let reg_path = root.join(REGISTRY_PATH);
+        let mut sync_violations = match std::fs::read_to_string(&reg_path) {
+            Ok(text) => match registry::parse(&text) {
+                Ok(reg) => analyze_sync(&sources, &reg),
+                Err((line, msg)) => vec![Violation {
+                    rule: RuleId::AtomicProtocol,
+                    file: REGISTRY_PATH.to_string(),
+                    line,
+                    col: 1,
+                    message: format!("registry parse error: {msg}"),
+                    snippet: String::new(),
+                }],
+            },
+            Err(e) => vec![Violation {
+                rule: RuleId::AtomicProtocol,
+                file: REGISTRY_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "sync-site registry missing or unreadable ({e}); the atomic-protocol \
+                     gate cannot run without it"
+                ),
+                snippet: String::new(),
+            }],
+        };
+        if let Some(filter) = only {
+            sync_violations.retain(|v| filter.contains(&v.rule));
+        }
+        all.extend(sync_violations);
+    }
+
     all.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+        (a.file.as_str(), a.line, a.rule, a.col).cmp(&(b.file.as_str(), b.line, b.rule, b.col))
     });
     Ok(all)
+}
+
+/// Stable identity of a violation for baseline comparison: rule code,
+/// file, and the trimmed source snippet — deliberately *not* the line
+/// number, which drifts on every unrelated edit.
+#[must_use]
+pub fn baseline_key(v: &Violation) -> String {
+    format!("{}\t{}\t{}", v.rule.code(), v.file, v.snippet)
+}
+
+/// Renders violations as a committed baseline file: one key per line,
+/// `#` comments, stable order.
+#[must_use]
+pub fn render_baseline(violations: &[Violation]) -> String {
+    let mut s = String::from(
+        "# strip-lint baseline: pinned pre-existing violations (code\\tfile\\tsnippet).\n\
+         # Regenerate with `strip-lint --write-baseline <path>`; new violations not\n\
+         # listed here fail CI.\n",
+    );
+    let mut keys: Vec<String> = violations.iter().map(baseline_key).collect();
+    keys.sort();
+    for k in keys {
+        s.push_str(&k);
+        s.push('\n');
+    }
+    s
+}
+
+/// Subtracts a committed baseline from `violations`: each baseline line
+/// absolves at most one matching violation (multiset semantics), so a
+/// *new* duplicate of a pinned site still fails. Returns the surviving
+/// violations.
+#[must_use]
+pub fn apply_baseline(violations: Vec<Violation>, baseline: &str) -> Vec<Violation> {
+    let mut budget: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for line in baseline.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *budget.entry(line).or_insert(0) += 1;
+    }
+    violations
+        .into_iter()
+        .filter(|v| {
+            let key = baseline_key(v);
+            match budget.get_mut(key.as_str()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            }
+        })
+        .collect()
 }
 
 /// Renders one violation in rustc's `error:` style.

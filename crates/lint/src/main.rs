@@ -2,10 +2,11 @@
 //! optionally writes the JSON report, and exits nonzero on violations.
 //!
 //! ```text
-//! cargo run -p strip-lint                       # scan the workspace
-//! cargo run -p strip-lint -- --json lint.json   # also write the report
-//! cargo run -p strip-lint -- --rules D2,D4      # subset of rules
-//! cargo run -p strip-lint -- --list-rules       # print the rule table
+//! cargo run -p strip-lint                          # scan the workspace
+//! cargo run -p strip-lint -- --json lint.json      # also write the report
+//! cargo run -p strip-lint -- --rules D2,D4         # subset of rules
+//! cargo run -p strip-lint -- --baseline base.txt   # ignore pinned sites
+//! cargo run -p strip-lint -- --list-rules          # print the rule table
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
@@ -13,24 +14,31 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use strip_lint::{render_json, render_text, scan_workspace, RuleId};
+use strip_lint::{
+    apply_baseline, render_baseline, render_json, render_text, scan_workspace, RuleId,
+};
 
 struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
     rules: Option<Vec<RuleId>>,
     files: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     quiet: bool,
     list_rules: bool,
 }
 
 fn usage() -> &'static str {
     "usage: strip-lint [--root DIR] [--json PATH] [--rules D1,D2,...] [--file PATH]... \
-     [--quiet] [--list-rules]\n\
+     [--baseline PATH] [--write-baseline PATH] [--quiet] [--list-rules]\n\
      \n\
      Scans the workspace's non-vendored crates for determinism & soundness\n\
-     violations (rules D1-D6). With --file, lints just the named file(s) with\n\
-     every rule (or the --rules subset) regardless of the per-crate tables.\n\
+     violations (rules D1-D11). With --file, lints just the named file(s) with\n\
+     every per-file rule (or the --rules subset) regardless of the per-crate\n\
+     tables. --baseline subtracts a committed baseline (each pinned line\n\
+     absolves one matching violation) so only new violations fail;\n\
+     --write-baseline regenerates that file from the current scan.\n\
      Exits 0 when clean, 1 on violations, 2 on error."
 }
 
@@ -42,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         rules: None,
         files: Vec::new(),
+        baseline: None,
+        write_baseline: None,
         quiet: false,
         list_rules: false,
     };
@@ -66,6 +76,14 @@ fn parse_args() -> Result<Args, String> {
             "--file" => {
                 args.files
                     .push(PathBuf::from(it.next().ok_or("--file needs a path")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(
+                    it.next().ok_or("--write-baseline needs a path")?,
+                ));
             }
             "--quiet" | "-q" => args.quiet = true,
             "--list-rules" => args.list_rules = true,
@@ -121,6 +139,32 @@ fn main() -> ExitCode {
             }
         }
         all
+    };
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, render_baseline(&violations)) {
+            eprintln!("strip-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!(
+                "strip-lint: baseline with {} pinned site(s) written to {}",
+                violations.len(),
+                path.display()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let violations = match &args.baseline {
+        None => violations,
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => apply_baseline(violations, &text),
+            Err(e) => {
+                eprintln!("strip-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
     };
 
     if let Some(path) = &args.json {

@@ -1,0 +1,471 @@
+//! The sync-site registry: a machine-readable declaration of the
+//! workspace's synchronization protocol, loaded from
+//! `crates/lint/sync_protocol.toml`.
+//!
+//! The registry is the contract the D9/D10/D11 rules in [`crate::sync`]
+//! check the code against:
+//!
+//! * `[[atomic]]` — one entry per atomic field: its role (publication
+//!   cursor, counter, close flag, ...), the orderings each operation kind
+//!   may use, and the contexts (enclosing `Type::fn`) where `Relaxed` is
+//!   legal because a single-owner argument holds.
+//! * `[[lock]]` — one entry per Mutex with its rank in the global
+//!   acquisition partial order (nested acquisitions must ascend).
+//! * `[[send_sync]]` — one entry per `unsafe impl Send`/`Sync`, naming
+//!   the invariant the impl stands on.
+//!
+//! The build environment has no registry access (no `toml` crate), so a
+//! small hand parser covers the subset the file uses: `[[table]]`
+//! headers, `key = "string"`, `key = ["a", "b"]`, `key = <integer>`, and
+//! `#` comments. Anything else is a hard parse error — the registry is
+//! lint input, and a silently mis-parsed registry would turn the gate
+//! off.
+
+use std::collections::BTreeMap;
+
+/// One `[[atomic]]` entry: the declared protocol of a single atomic
+/// field, keyed by `(file, field)`.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicEntry {
+    /// Workspace-relative file holding the field's operations.
+    pub file: String,
+    /// Field (or static) identifier as it appears at the use sites.
+    pub field: String,
+    /// Declared role: `publication`, `counter`, `flag`, `signal`, ...
+    /// Free-form label used in diagnostics; `publication` additionally
+    /// demands a Release-store/Acquire-load pairing in the code.
+    pub role: String,
+    /// Orderings legal for `load` operations.
+    pub loads: Vec<String>,
+    /// Orderings legal for `store` operations.
+    pub stores: Vec<String>,
+    /// Orderings legal for read-modify-write operations (`fetch_*`,
+    /// `swap`, `compare_exchange*`).
+    pub rmws: Vec<String>,
+    /// Contexts (`Type::fn` of the enclosing function) where `Relaxed`
+    /// is legal. Empty means Relaxed is legal anywhere it is listed —
+    /// only sound for roles with no publication edge (counters, signal
+    /// latches); [`SyncRegistry::validate`] enforces that.
+    pub relaxed_in: Vec<String>,
+    /// Why the protocol is what it is (mandatory; shown in diagnostics).
+    pub doc: String,
+    /// Line of the entry header in the registry file (diagnostics).
+    pub line: u32,
+}
+
+/// One `[[lock]]` entry: a Mutex and its rank in the acquisition order.
+#[derive(Debug, Clone, Default)]
+pub struct LockEntry {
+    /// Workspace-relative file the lock is acquired in.
+    pub file: String,
+    /// Receiver identifier at the `.lock()` call sites.
+    pub name: String,
+    /// Position in the global partial order: a thread holding rank `r`
+    /// may only acquire locks of rank strictly greater than `r`.
+    pub rank: u64,
+    /// Why the lock exists and what it protects (mandatory).
+    pub doc: String,
+    /// Line of the entry header in the registry file.
+    pub line: u32,
+}
+
+/// One `[[send_sync]]` entry: a pinned `unsafe impl Send`/`Sync`.
+#[derive(Debug, Clone, Default)]
+pub struct SendSyncEntry {
+    /// Workspace-relative file holding the impl.
+    pub file: String,
+    /// Base name of the implementing type (`Inner`, not `Inner<T>`).
+    pub type_name: String,
+    /// `Send` or `Sync`.
+    pub trait_name: String,
+    /// The invariant the impl stands on (mandatory).
+    pub invariant: String,
+    /// Line of the entry header in the registry file.
+    pub line: u32,
+}
+
+/// The parsed registry.
+#[derive(Debug, Clone, Default)]
+pub struct SyncRegistry {
+    pub atomics: Vec<AtomicEntry>,
+    pub locks: Vec<LockEntry>,
+    pub send_sync: Vec<SendSyncEntry>,
+}
+
+impl SyncRegistry {
+    /// Looks an atomic entry up by `(file, field)`.
+    #[must_use]
+    pub fn atomic(&self, file: &str, field: &str) -> Option<&AtomicEntry> {
+        self.atomics
+            .iter()
+            .find(|a| a.file == file && a.field == field)
+    }
+
+    /// Looks a lock entry up by `(file, name)`.
+    #[must_use]
+    pub fn lock(&self, file: &str, name: &str) -> Option<&LockEntry> {
+        self.locks.iter().find(|l| l.file == file && l.name == name)
+    }
+
+    /// Looks a send/sync entry up by `(file, type, trait)`.
+    #[must_use]
+    pub fn send_sync(
+        &self,
+        file: &str,
+        type_name: &str,
+        trait_name: &str,
+    ) -> Option<&SendSyncEntry> {
+        self.send_sync
+            .iter()
+            .find(|s| s.file == file && s.type_name == type_name && s.trait_name == trait_name)
+    }
+
+    /// Internal-consistency checks that do not need the source code:
+    /// mandatory docs, known orderings, duplicate keys, and the
+    /// publication-role constraints (`Release` stores demand `Acquire`
+    /// loads; `Relaxed` on a publication field demands declared
+    /// contexts). Returns human-readable problems with the entry line.
+    #[must_use]
+    pub fn validate(&self) -> Vec<(u32, String)> {
+        const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+        let mut problems = Vec::new();
+        let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+        for a in &self.atomics {
+            let key = format!("atomic {}::{}", a.file, a.field);
+            if let Some(prev) = seen.insert(key.clone(), a.line) {
+                problems.push((
+                    a.line,
+                    format!("duplicate entry for {key} (first at line {prev})"),
+                ));
+            }
+            if a.file.is_empty() || a.field.is_empty() || a.role.is_empty() {
+                problems.push((a.line, format!("{key}: file, field and role are mandatory")));
+            }
+            if a.doc.is_empty() {
+                problems.push((a.line, format!("{key}: doc= is mandatory")));
+            }
+            for ord in a.loads.iter().chain(&a.stores).chain(&a.rmws) {
+                if !ORDERINGS.contains(&ord.as_str()) {
+                    problems.push((a.line, format!("{key}: unknown ordering `{ord}`")));
+                }
+            }
+            let release_published = a.stores.iter().any(|o| o == "Release" || o == "AcqRel")
+                || a.rmws.iter().any(|o| o == "Release" || o == "AcqRel");
+            if release_published && !a.loads.iter().any(|o| o == "Acquire" || o == "SeqCst") {
+                problems.push((
+                    a.line,
+                    format!("{key}: Release stores declared without an Acquire load partner"),
+                ));
+            }
+            let relaxed_somewhere = a.loads.iter().chain(&a.stores).any(|o| o == "Relaxed");
+            if a.role == "publication" && relaxed_somewhere && a.relaxed_in.is_empty() {
+                problems.push((
+                    a.line,
+                    format!(
+                        "{key}: Relaxed on a publication field needs relaxed_in contexts \
+                         (the single-owner argument must be named)"
+                    ),
+                ));
+            }
+        }
+        for l in &self.locks {
+            let key = format!("lock {}::{}", l.file, l.name);
+            if let Some(prev) = seen.insert(key.clone(), l.line) {
+                problems.push((
+                    l.line,
+                    format!("duplicate entry for {key} (first at line {prev})"),
+                ));
+            }
+            if l.file.is_empty() || l.name.is_empty() {
+                problems.push((l.line, format!("{key}: file and name are mandatory")));
+            }
+            if l.doc.is_empty() {
+                problems.push((l.line, format!("{key}: doc= is mandatory")));
+            }
+        }
+        for s in &self.send_sync {
+            let key = format!("send_sync {}::{} ({})", s.file, s.type_name, s.trait_name);
+            if let Some(prev) = seen.insert(key.clone(), s.line) {
+                problems.push((
+                    s.line,
+                    format!("duplicate entry for {key} (first at line {prev})"),
+                ));
+            }
+            if s.trait_name != "Send" && s.trait_name != "Sync" {
+                problems.push((s.line, format!("{key}: trait must be Send or Sync")));
+            }
+            if s.invariant.is_empty() {
+                problems.push((s.line, format!("{key}: invariant= is mandatory")));
+            }
+        }
+        problems
+    }
+}
+
+/// One parsed TOML value of the subset the registry uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+    Int(u64),
+}
+
+/// Parses the registry TOML subset.
+///
+/// # Errors
+///
+/// Returns `(line, message)` on the first malformed line: unknown
+/// section, bad key/value syntax, or a value form outside the subset.
+pub fn parse(src: &str) -> Result<SyncRegistry, (u32, String)> {
+    enum Section {
+        None,
+        Atomic,
+        Lock,
+        SendSync,
+    }
+    let mut registry = SyncRegistry::default();
+    let mut section = Section::None;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            section = match header.trim() {
+                "atomic" => {
+                    registry.atomics.push(AtomicEntry {
+                        line: line_no,
+                        ..AtomicEntry::default()
+                    });
+                    Section::Atomic
+                }
+                "lock" => {
+                    registry.locks.push(LockEntry {
+                        line: line_no,
+                        ..LockEntry::default()
+                    });
+                    Section::Lock
+                }
+                "send_sync" => {
+                    registry.send_sync.push(SendSyncEntry {
+                        line: line_no,
+                        ..SendSyncEntry::default()
+                    });
+                    Section::SendSync
+                }
+                other => return Err((line_no, format!("unknown section [[{other}]]"))),
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((line_no, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let value = parse_value(value.trim()).map_err(|m| (line_no, m))?;
+        let err = |m: String| Err((line_no, m));
+        match section {
+            Section::None => return err(format!("key `{key}` before any [[section]]")),
+            Section::Atomic => {
+                let e = registry
+                    .atomics
+                    .last_mut()
+                    .ok_or((line_no, "no entry".to_string()))?;
+                match (key, value) {
+                    ("file", Value::Str(s)) => e.file = s,
+                    ("field", Value::Str(s)) => e.field = s,
+                    ("role", Value::Str(s)) => e.role = s,
+                    ("doc", Value::Str(s)) => e.doc = s,
+                    ("loads", Value::List(l)) => e.loads = l,
+                    ("stores", Value::List(l)) => e.stores = l,
+                    ("rmws", Value::List(l)) => e.rmws = l,
+                    ("relaxed_in", Value::List(l)) => e.relaxed_in = l,
+                    (k, v) => return err(format!("bad [[atomic]] field `{k}` = {v:?}")),
+                }
+            }
+            Section::Lock => {
+                let e = registry
+                    .locks
+                    .last_mut()
+                    .ok_or((line_no, "no entry".to_string()))?;
+                match (key, value) {
+                    ("file", Value::Str(s)) => e.file = s,
+                    ("name", Value::Str(s)) => e.name = s,
+                    ("doc", Value::Str(s)) => e.doc = s,
+                    ("rank", Value::Int(n)) => e.rank = n,
+                    (k, v) => return err(format!("bad [[lock]] field `{k}` = {v:?}")),
+                }
+            }
+            Section::SendSync => {
+                let e = registry
+                    .send_sync
+                    .last_mut()
+                    .ok_or((line_no, "no entry".to_string()))?;
+                match (key, value) {
+                    ("file", Value::Str(s)) => e.file = s,
+                    ("type", Value::Str(s)) => e.type_name = s,
+                    ("trait", Value::Str(s)) => e.trait_name = s,
+                    ("invariant", Value::Str(s)) => e.invariant = s,
+                    (k, v) => return err(format!("bad [[send_sync]] field `{k}` = {v:?}")),
+                }
+            }
+        }
+    }
+    Ok(registry)
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a value of the subset: `"string"`, `["a", "b"]`, or integer.
+fn parse_value(v: &str) -> Result<Value, String> {
+    if let Some(body) = v.strip_prefix('"') {
+        let Some(s) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string `{v}`"));
+        };
+        if s.contains('"') {
+            return Err(format!(
+                "embedded quote in `{v}` (escapes are outside the subset)"
+            ));
+        }
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(body) = v.strip_prefix('[') {
+        let Some(inner) = body.strip_suffix(']') else {
+            return Err(format!("unterminated list `{v}` (single-line lists only)"));
+        };
+        let mut items = Vec::new();
+        let inner = inner.trim();
+        if !inner.is_empty() {
+            for part in inner.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue; // tolerate a trailing comma
+                }
+                match parse_value(part)? {
+                    Value::Str(s) => items.push(s),
+                    other => return Err(format!("list items must be strings, got {other:?}")),
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    v.parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("expected string, list, or integer, got `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# the spsc publication cursor
+[[atomic]]
+file = "crates/live/src/spsc.rs"
+field = "tail"
+role = "publication"
+loads = ["Acquire", "Relaxed"]
+stores = ["Release"]
+relaxed_in = ["Inner::drop"]
+doc = "producer cursor; Release-published, Acquire-read"
+
+[[lock]]
+file = "crates/experiments/src/runner.rs"
+name = "failures"
+rank = 100
+doc = "collects point failures"
+
+[[send_sync]]
+file = "crates/live/src/spsc.rs"
+type = "Inner"
+trait = "Sync"
+invariant = "SPSC slot ownership protocol"
+"#;
+
+    #[test]
+    fn parses_all_three_sections() {
+        let r = parse(SAMPLE).expect("parse");
+        assert_eq!(r.atomics.len(), 1);
+        let a = &r.atomics[0];
+        assert_eq!(a.field, "tail");
+        assert_eq!(a.loads, ["Acquire", "Relaxed"]);
+        assert_eq!(a.relaxed_in, ["Inner::drop"]);
+        assert_eq!(r.locks[0].rank, 100);
+        assert_eq!(r.send_sync[0].trait_name, "Sync");
+        assert!(r.validate().is_empty(), "{:?}", r.validate());
+        assert!(r.atomic("crates/live/src/spsc.rs", "tail").is_some());
+        assert!(r.atomic("crates/live/src/spsc.rs", "head").is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_bad_values() {
+        assert!(parse("[[mystery]]\n").is_err());
+        assert!(parse("file = \"a\"\n").is_err(), "key before section");
+        assert!(parse("[[atomic]]\nfile = unquoted\n").is_err());
+        assert!(
+            parse("[[atomic]]\nloads = [\"Acquire\"\n").is_err(),
+            "unterminated list"
+        );
+    }
+
+    #[test]
+    fn validate_flags_protocol_inconsistencies() {
+        // Release store without an Acquire load partner.
+        let r = parse(
+            "[[atomic]]\nfile = \"f.rs\"\nfield = \"x\"\nrole = \"publication\"\n\
+             stores = [\"Release\"]\nloads = [\"Relaxed\"]\nrelaxed_in = [\"T::f\"]\n\
+             doc = \"d\"\n",
+        )
+        .expect("parse");
+        assert!(r
+            .validate()
+            .iter()
+            .any(|(_, m)| m.contains("Acquire load partner")));
+
+        // Relaxed on a publication field with no declared context.
+        let r = parse(
+            "[[atomic]]\nfile = \"f.rs\"\nfield = \"x\"\nrole = \"publication\"\n\
+             stores = [\"Release\"]\nloads = [\"Acquire\", \"Relaxed\"]\ndoc = \"d\"\n",
+        )
+        .expect("parse");
+        assert!(r.validate().iter().any(|(_, m)| m.contains("relaxed_in")));
+
+        // Counters may use Relaxed anywhere.
+        let r = parse(
+            "[[atomic]]\nfile = \"f.rs\"\nfield = \"n\"\nrole = \"counter\"\n\
+             rmws = [\"Relaxed\"]\nloads = [\"Relaxed\"]\ndoc = \"d\"\n",
+        )
+        .expect("parse");
+        assert!(r.validate().is_empty(), "{:?}", r.validate());
+
+        // Missing docs and duplicate keys are flagged.
+        let r = parse("[[lock]]\nfile = \"f.rs\"\nname = \"m\"\nrank = 1\n").expect("parse");
+        assert!(r.validate().iter().any(|(_, m)| m.contains("doc=")));
+        let r = parse(
+            "[[lock]]\nfile = \"f.rs\"\nname = \"m\"\nrank = 1\ndoc = \"d\"\n\
+             [[lock]]\nfile = \"f.rs\"\nname = \"m\"\nrank = 2\ndoc = \"d\"\n",
+        )
+        .expect("parse");
+        assert!(r.validate().iter().any(|(_, m)| m.contains("duplicate")));
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let r = parse(
+            "[[lock]]\nname = \"has # hash\" # trailing\nfile = \"f\"\nrank = 1\ndoc = \"d\"\n",
+        )
+        .expect("parse");
+        assert_eq!(r.locks[0].name, "has # hash");
+    }
+}

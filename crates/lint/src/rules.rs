@@ -47,13 +47,29 @@ pub enum RuleId {
     /// I/O-reachable failures must be checked errors; only pinned
     /// internal invariants may panic.
     LivePanic,
+    /// D9: atomic-protocol — every atomic operation naming an
+    /// `Ordering::*` must match a role declared in
+    /// `crates/lint/sync_protocol.toml`: the field is registered, the
+    /// ordering is in the declared set for that operation kind, `Relaxed`
+    /// appears only in declared single-owner contexts, and every field
+    /// with `Release` stores has an `Acquire` load partner in the code.
+    AtomicProtocol,
+    /// D10: lock-order — every `Mutex` acquisition must be registered
+    /// with a rank in the sync registry's partial order; nested
+    /// acquisitions must strictly ascend in rank and the workspace-wide
+    /// acquisition graph must be acyclic.
+    LockOrder,
+    /// D11: send-sync-audit — every `unsafe impl Send`/`unsafe impl
+    /// Sync` must carry a sync-registry entry naming the invariant it
+    /// stands on (and registry entries must not go stale).
+    SendSyncAudit,
     /// Malformed `lint: allow` annotation (always on).
     BadAllow,
 }
 
 impl RuleId {
     /// Every real rule, in document order (excludes the meta rule).
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::WallClock,
         RuleId::NondeterministicOrder,
         RuleId::AmbientEntropy,
@@ -62,6 +78,17 @@ impl RuleId {
         RuleId::RawF64Sum,
         RuleId::DurabilityBoundary,
         RuleId::LivePanic,
+        RuleId::AtomicProtocol,
+        RuleId::LockOrder,
+        RuleId::SendSyncAudit,
+    ];
+
+    /// The cross-file synchronization-protocol rules (checked by
+    /// [`crate::sync`] against the registry, not by [`analyze_source`]).
+    pub const SYNC: [RuleId; 3] = [
+        RuleId::AtomicProtocol,
+        RuleId::LockOrder,
+        RuleId::SendSyncAudit,
     ];
 
     /// Short code ("D1").
@@ -76,6 +103,9 @@ impl RuleId {
             RuleId::RawF64Sum => "D6",
             RuleId::DurabilityBoundary => "D7",
             RuleId::LivePanic => "D8",
+            RuleId::AtomicProtocol => "D9",
+            RuleId::LockOrder => "D10",
+            RuleId::SendSyncAudit => "D11",
             RuleId::BadAllow => "A0",
         }
     }
@@ -92,6 +122,9 @@ impl RuleId {
             RuleId::RawF64Sum => "raw-f64-sum",
             RuleId::DurabilityBoundary => "durability-boundary",
             RuleId::LivePanic => "live-panic",
+            RuleId::AtomicProtocol => "atomic-protocol",
+            RuleId::LockOrder => "lock-order",
+            RuleId::SendSyncAudit => "send-sync-audit",
             RuleId::BadAllow => "bad-allow",
         }
     }
@@ -137,6 +170,19 @@ impl RuleId {
                  checked errors, or pin the invariant with `// lint: allow(live-panic, \
                  reason=...)`)"
             }
+            RuleId::AtomicProtocol => {
+                "atomic operation outside the declared sync protocol (declare the field's \
+                 role and orderings in crates/lint/sync_protocol.toml)"
+            }
+            RuleId::LockOrder => {
+                "lock acquisition outside the declared partial order (register the lock \
+                 and its rank in crates/lint/sync_protocol.toml; nested acquisitions must \
+                 ascend in rank)"
+            }
+            RuleId::SendSyncAudit => {
+                "`unsafe impl Send/Sync` without a sync-registry entry naming its \
+                 invariant (declare it in crates/lint/sync_protocol.toml)"
+            }
             RuleId::BadAllow => "malformed `lint: allow` annotation (missing rule or reason=)",
         }
     }
@@ -158,7 +204,7 @@ pub struct Violation {
 
 /// A parsed `lint: allow` annotation.
 #[derive(Debug)]
-struct Allow {
+pub(crate) struct Allow {
     rule: RuleId,
     /// Lines the allow covers (inclusive); `None` = whole file.
     span: Option<(u32, u32)>,
@@ -166,7 +212,7 @@ struct Allow {
 
 /// Line spans (inclusive) of `#[cfg(test)]` / `#[cfg(loom)]` / `#[test]`
 /// items: determinism rules skip them.
-fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -243,13 +289,13 @@ fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     regions
 }
 
-fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+pub(crate) fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| (a..=b).contains(&line))
 }
 
 /// Parses every `lint: allow` annotation out of the comments; malformed
 /// ones are reported through `bad` as [`RuleId::BadAllow`] violations.
-fn parse_allows(
+pub(crate) fn parse_allows(
     comments: &[Comment],
     file: &str,
     lines: &[&str],
@@ -334,7 +380,13 @@ fn allowed(allows: &[Allow], rule: RuleId, line: u32) -> bool {
     })
 }
 
-fn snippet(lines: &[&str], line: u32) -> String {
+/// Whether an allow in `allows` covers `rule` at `line` (the sync pass
+/// shares the per-file annotation machinery).
+pub(crate) fn allow_covers(allows: &[Allow], rule: RuleId, line: u32) -> bool {
+    allowed(allows, rule, line)
+}
+
+pub(crate) fn snippet(lines: &[&str], line: u32) -> String {
     lines
         .get(line as usize - 1)
         .map_or(String::new(), |l| l.trim().to_string())

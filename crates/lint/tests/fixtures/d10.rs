@@ -1,0 +1,26 @@
+// D10 fixture: two-lock cycle. `ingest` (rank 10) and `report` (rank 20)
+// are both registered; `forward` nests them in rank order, `backward`
+// nests them against it. Together the two paths deadlock: thread A holds
+// `ingest` wanting `report` while thread B holds `report` wanting
+// `ingest`. The rank discipline flags the backward edge.
+
+use std::sync::Mutex;
+
+pub struct Stats {
+    ingest: Mutex<u64>,
+    report: Mutex<u64>,
+}
+
+impl Stats {
+    pub fn forward(&self) -> u64 {
+        let a = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.report.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.report.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}

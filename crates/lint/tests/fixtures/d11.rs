@@ -1,0 +1,9 @@
+// D11 fixture: an `unsafe impl Send` with no registry entry naming the
+// invariant it stands on. The SAFETY comment satisfies D4 but not D11 —
+// the claim must live in the machine-checked registry, not only in
+// prose.
+
+pub struct RawBox(*mut u8);
+
+// SAFETY: the pointer is uniquely owned by this wrapper.
+unsafe impl Send for RawBox {}

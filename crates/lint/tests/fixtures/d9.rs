@@ -1,0 +1,16 @@
+// D9 fixture: unpaired Release publication. `watermark` is registered
+// (see fixtures/sync_registry.toml) with a Release store and an Acquire
+// load — but the code only ever Release-stores it: a publication with no
+// subscriber. The sync pass must flag the store site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flusher {
+    watermark: AtomicU64,
+}
+
+impl Flusher {
+    pub fn publish(&self, seq: u64) {
+        self.watermark.store(seq, Ordering::Release);
+    }
+}

@@ -3,9 +3,13 @@
 //! or memory-unsafe code has a known, bounded surface.
 //!
 //! D4 (undocumented-unsafe) already forces every `unsafe` block to carry a
-//! `// SAFETY:` comment; this audit is the complementary invariant — new
-//! `unsafe` may not appear in a file that has never been reviewed for it
-//! without this list (and thus the diff) saying so.
+//! `// SAFETY:` comment, and D11 (send-sync-audit) requires every
+//! `unsafe impl Send/Sync` to name its invariant in the sync-site
+//! registry (`crates/lint/sync_protocol.toml`) — that registry, not this
+//! list, is now where the *soundness arguments* live. This audit is the
+//! remaining complementary invariant — new `unsafe` may not appear in a
+//! file that has never been reviewed for it without this list (and thus
+//! the diff) saying so.
 
 use std::path::PathBuf;
 

@@ -45,6 +45,7 @@
 #![warn(clippy::all)]
 
 pub mod clock;
+pub mod credit;
 pub mod executor;
 pub mod loadgen;
 pub mod protocol;

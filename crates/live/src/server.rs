@@ -40,6 +40,7 @@ use strip_core::stripe::{splitmix64, StripeMap};
 use strip_db::object::{Importance, ViewObjectId};
 use strip_obs::PromText;
 
+use crate::credit::CreditWindow;
 use crate::executor::{stripe_configs, Executor, Ingest, LiveConfig};
 use crate::protocol::{
     decode_body, for_each_batch_update, write_msg, FrameReader, Msg, WireQuery, WireStats, WireTxn,
@@ -421,20 +422,14 @@ fn accept_loop(listener: &TcpListener, router: &Router, stop: &Arc<AtomicBool>) 
 }
 
 /// Per-connection state of the batched ingest path: one ring producer
-/// per stripe plus the cumulative counters of the credit protocol.
+/// per stripe plus the credit-window counters (see [`CreditWindow`] for
+/// the grant arithmetic, which is model-checked under loom in
+/// `tests/loom_spsc.rs`).
 struct BatchState {
     /// Ring producers aligned with the router's stripe channels.
     producers: Vec<spsc::Producer<WireUpdate>>,
-    /// Updates this connection has pushed into the rings (batch frames).
-    received: u64,
-    /// Cumulative credit granted; stays 0 until a `CreditRequest` opts in.
-    granted: u64,
-    /// `received` at the instant the client opted into flow control:
-    /// updates pushed before that never consumed credit and must not
-    /// count as spent window.
-    pre_credit: u64,
-    /// Whether the client opted into credit-based flow control.
-    credited: bool,
+    /// Cumulative counters of the credit protocol for this connection.
+    window: CreditWindow,
 }
 
 impl BatchState {
@@ -449,10 +444,7 @@ impl BatchState {
         }
         Some(BatchState {
             producers,
-            received: 0,
-            granted: 0,
-            pre_credit: 0,
-            credited: false,
+            window: CreditWindow::new(),
         })
     }
 
@@ -463,7 +455,7 @@ impl BatchState {
     /// the spin only serves uncredited senders. Returns false when a
     /// server stop aborted the wait.
     fn push(&mut self, router: &Router, update: WireUpdate, stop: &AtomicBool) -> bool {
-        self.received += 1;
+        self.window.on_update();
         let (s, mut v) = router.route_update(update);
         loop {
             match self.producers[s].push(v) {
@@ -482,31 +474,14 @@ impl BatchState {
     /// Window the server can grant right now without risking a ring
     /// overrun on any stripe.
     ///
-    /// The outstanding window is tracked with checked arithmetic:
-    /// `spent = received - pre_credit` is the credit the client has
-    /// actually used since opting in, and `granted - spent` is what it
-    /// may still use. Grants are bounded by the scarcest ring's free
-    /// slots minus that unspent window — counting *occupancy* rather
-    /// than inferring it from grant totals, so updates pushed before the
+    /// Grants are bounded by the scarcest ring's free slots minus the
+    /// client's unspent window — counting *occupancy* rather than
+    /// inferring it from grant totals, so updates pushed before the
     /// `CreditRequest` (which old grant-side arithmetic silently ignored,
     /// over-granting by exactly their ring footprint) are accounted for.
-    /// Both invariants are debug-asserted; release builds clamp instead
-    /// of masking drift with wrapping subtraction.
+    /// The window arithmetic itself lives in [`CreditWindow::grantable`];
+    /// this wrapper contributes the occupancy observation.
     fn grantable(&self) -> u64 {
-        debug_assert!(
-            self.pre_credit <= self.received,
-            "credit window opted in ahead of the updates it excludes \
-             (pre_credit {} > received {})",
-            self.pre_credit,
-            self.received
-        );
-        let spent = self.received.saturating_sub(self.pre_credit);
-        debug_assert!(
-            spent <= self.granted || !self.credited,
-            "client overran its credit window: spent {spent}, granted {}",
-            self.granted
-        );
-        let unspent = self.granted.saturating_sub(spent);
         let min_free = self
             .producers
             .iter()
@@ -520,7 +495,7 @@ impl BatchState {
             })
             .min()
             .unwrap_or(RING_CAPACITY as u64);
-        min_free.saturating_sub(unspent)
+        self.window.grantable(min_free)
     }
 
     /// Tops the client's credit window up. Normally a grant is only
@@ -530,13 +505,12 @@ impl BatchState {
     /// consumable, spinning until the executors free window — they are
     /// always draining, so the wait terminates.
     fn top_up(&mut self, stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<()> {
-        if !self.credited {
+        if !self.window.is_credited() {
             return Ok(());
         }
         let mut grantable = self.grantable();
         while grantable < CREDIT_LOW_WATER {
-            let starved = self.granted == self.received.saturating_sub(self.pre_credit);
-            if !starved {
+            if !self.window.starved() {
                 return Ok(()); // client still has window; grant later
             }
             if grantable > 0 {
@@ -548,7 +522,7 @@ impl BatchState {
             thread::yield_now();
             grantable = self.grantable();
         }
-        self.granted += grantable;
+        self.window.record_grant(grantable);
         write_msg(stream, &Msg::Credit(grantable))
     }
 
@@ -649,13 +623,10 @@ fn handle_conn(mut stream: TcpStream, router: &Router, stop: &Arc<AtomicBool>) -
                     }
                 }
                 let state = batch.as_mut().expect("batch state attached"); // lint: allow(live-panic, reason=attached on the branch above when absent)
-                state.credited = true;
-                // Updates pushed before opting in never drew on the
-                // window; fence them out of the spent-credit arithmetic.
-                state.pre_credit = state.received;
+                state.window.opt_in();
                 // Initial grant: whatever the rings can absorb.
                 let grant = state.grantable();
-                state.granted += grant;
+                state.window.record_grant(grant);
                 write_msg(&mut stream, &Msg::Credit(grant))?;
             }
             Msg::Txn(w) => {
@@ -1076,18 +1047,17 @@ mod tests {
         );
 
         // Opt in at the boundary: the initial grant must also be 0.
-        state.credited = true;
-        state.pre_credit = state.received;
+        state.window.opt_in();
         let grant = state.grantable();
         assert_eq!(grant, 0);
-        state.granted += grant;
+        state.window.record_grant(grant);
 
         // Drain half the ring; exactly that much window opens up.
         for _ in 0..cap / 2 {
             assert!(consumer.pop().is_some());
         }
         assert_eq!(state.grantable(), cap / 2);
-        state.granted += cap / 2;
+        state.window.record_grant(cap / 2);
 
         // The client spends the window to the boundary: zero again.
         for i in 0..cap / 2 {

@@ -83,9 +83,16 @@ unsafe impl<T: Send> Send for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
-        // Exclusive access (`&mut self`): both endpoints are gone, so the
-        // plain loads cannot race. Elements in `head..tail` were pushed
-        // but never popped and still own a live `T`.
+        // SAFETY-ordering: `Relaxed` is legal here and only here — this
+        // is the `relaxed_in = ["Inner::drop"]` context the sync-site
+        // registry (`crates/lint/sync_protocol.toml`) declares for the
+        // `head`/`tail` publication fields, and D9 flags any other
+        // relaxed use. `&mut self` proves both endpoints are gone: the
+        // final `Arc` drop that got us here synchronised with every
+        // endpoint's last Release operation, so the plain loads cannot
+        // race and observe the cursors' final values. Elements in
+        // `head..tail` were pushed but never popped and still own a
+        // live `T`.
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Relaxed);
         for pos in head..tail {
@@ -102,8 +109,20 @@ impl<T> Drop for Inner<T> {
 pub struct Producer<T> {
     inner: Arc<Inner<T>>,
     /// Local copy of `tail` (only this endpoint advances it).
+    ///
+    /// SAFETY-ordering: a *plain* field, not an atomic — sound because
+    /// `tail` has a single writer (this endpoint) and the shared
+    /// `Inner::tail` store in `push` is the Release publication the
+    /// registry declares; this copy never needs to observe anyone
+    /// else's writes.
     tail: usize,
     /// Last observed `head`; refreshed only when the ring looks full.
+    ///
+    /// SAFETY-ordering: a stale value is safe in exactly one direction —
+    /// it *under*-estimates the consumer's progress, so the ring can
+    /// only look more full than it is (spurious `Err(Full)`), never less.
+    /// The refresh in `push` is the Acquire load of `Inner::head` the
+    /// registry pairs with the consumer's Release store.
     head_cache: usize,
 }
 
@@ -111,8 +130,18 @@ pub struct Producer<T> {
 pub struct Consumer<T> {
     inner: Arc<Inner<T>>,
     /// Local copy of `head` (only this endpoint advances it).
+    ///
+    /// SAFETY-ordering: plain single-writer copy, mirror image of
+    /// `Producer::tail` — the shared `Inner::head` store in `pop` is the
+    /// Release the producer's Acquire load pairs with.
     head: usize,
     /// Last observed `tail`; refreshed only when the ring looks empty.
+    ///
+    /// SAFETY-ordering: staleness only *under*-estimates the producer's
+    /// progress (spurious `None` from `pop`, never a read of an
+    /// unpublished slot). The refresh in `pop` is the Acquire load of
+    /// `Inner::tail` that synchronises with the producer's Release
+    /// store, making the slot write at `head` visible before the read.
     tail_cache: usize,
 }
 

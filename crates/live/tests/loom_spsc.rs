@@ -8,6 +8,10 @@
 //! (a push against a full ring hands the value back instead of
 //! overwriting), and the empty-ring/close edge (a pop against an empty
 //! ring returns `None` and close is observed only after the last value).
+//! Two protocol models ride along: the server's credit-grant arithmetic
+//! (the real [`CreditWindow`] against real rings — grants may never let
+//! a credited push find a full stripe) and the WAL flusher's
+//! chunk-then-watermark Release publication.
 //!
 //! Run with:
 //!
@@ -21,6 +25,7 @@
 //! send the DFS down an infinite schedule.
 #![cfg(loom)]
 
+use strip_live::credit::CreditWindow;
 use strip_live::spsc::ring;
 
 /// Streaming: a producer pushes a short FIFO sequence while the consumer
@@ -97,6 +102,126 @@ fn full_ring_pushes_are_refused_not_overwritten() {
             got, expected,
             "every landed push must come out exactly once, in order"
         );
+    });
+}
+
+/// Credit-grant model: the server's credit arithmetic (the *real*
+/// [`CreditWindow`] from `strip_live::credit`, driven against real rings)
+/// racing a draining executor. The property the wire protocol stands on:
+/// a grant is computed from the scarcest stripe's observed free slots
+/// minus the client's unspent window, and the executor only ever *frees*
+/// slots concurrently — so a credited client spending its whole window
+/// into one stripe (the adversarial placement) must never find that ring
+/// full. A stale `consumed()` observation under-estimates frees and
+/// shrinks the grant; it can never inflate it. The model also carries an
+/// uncredited backlog update so the occupancy-vs-grant distinction that
+/// `pre_credit` exists for is exercised, and checks FIFO on the loaded
+/// stripe end to end.
+#[test]
+fn credit_grants_never_let_a_credited_push_find_a_full_ring() {
+    loom::model(|| {
+        const CAP: usize = 2;
+        let (mut p0, mut c0) = ring::<u32>(CAP);
+        let (p1, _c1) = ring::<u32>(CAP);
+        // One uncredited update already occupies stripe 0 before the
+        // client opts in: it holds a slot but never drew credit.
+        p0.push(100).expect("empty ring accepts the backlog update");
+        let mut window = CreditWindow::new();
+        window.on_update();
+        window.opt_in();
+        // The executor drains stripe 0 concurrently with the grant
+        // rounds (bounded attempts; a miss is a legal schedule).
+        let consumer = loom::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                if let Some(v) = c0.pop() {
+                    got.push(v);
+                }
+            }
+            (c0, got)
+        });
+        // Two grant rounds, each spent entirely into stripe 0 — the
+        // scarcest ring, so the bound is tight, not slack.
+        let mut next = 0u32;
+        for _ in 0..2 {
+            let min_free = [&p0, &p1]
+                .iter()
+                .map(|p| (CAP as u64).saturating_sub(p.pushed().saturating_sub(p.consumed())))
+                .min()
+                .expect("two stripes");
+            let grant = window.grantable(min_free);
+            window.record_grant(grant);
+            for _ in 0..grant {
+                window.on_update();
+                p0.push(next)
+                    .expect("credited push found a full ring: the grant overran occupancy");
+                next += 1;
+            }
+        }
+        let (mut c0, mut got) = consumer.join().expect("consumer thread");
+        while let Some(v) = c0.pop() {
+            got.push(v);
+        }
+        let mut expected = vec![100u32];
+        expected.extend(0..next);
+        assert_eq!(got, expected, "granted pushes stay FIFO behind the backlog");
+    });
+}
+
+/// WAL chunk-handoff model: the flusher's watermark publication protocol
+/// from `strip_live::wal::flusher_loop`, in miniature. The flusher
+/// writes a chunk's records and only then Release-stores the durable
+/// watermark (`written` in the sync-site registry); an appender
+/// Acquire-samples the watermark to decide what is safely on disk. Under
+/// every interleaving the sampled watermark must be monotone and every
+/// record at or below it must already be fully written — i.e. the
+/// Release store really is the *last* step of the handoff, after the
+/// record writes in program order.
+#[test]
+fn wal_watermark_is_monotone_and_never_overtakes_its_chunk() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    use loom::sync::Arc;
+
+    loom::model(|| {
+        // Four records flushed as two chunks of two; slot value 0 means
+        // "not yet written" (records are seq + 1, never 0).
+        let slots = Arc::new([
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ]);
+        let written = Arc::new(AtomicU64::new(0)); // highest durable seq, 1-based
+        let flusher = {
+            let slots = Arc::clone(&slots);
+            let written = Arc::clone(&written);
+            loom::thread::spawn(move || {
+                for chunk in 0..2u64 {
+                    for r in 0..2u64 {
+                        let seq = chunk * 2 + r;
+                        slots[seq as usize].store(seq + 1, Ordering::Relaxed);
+                    }
+                    // The publication edge: records first, watermark last.
+                    written.store(chunk * 2 + 2, Ordering::Release);
+                }
+            })
+        };
+        let mut last = 0u64;
+        for _ in 0..2 {
+            let wm = written.load(Ordering::Acquire);
+            assert!(wm >= last, "watermark went backwards: {wm} < {last}");
+            last = wm;
+            for seq in 0..wm {
+                let v = slots[seq as usize].load(Ordering::Relaxed);
+                assert_eq!(
+                    v,
+                    seq + 1,
+                    "watermark {wm} published before record {seq} was written"
+                );
+            }
+        }
+        flusher.join().expect("flusher thread");
+        assert_eq!(written.load(Ordering::Acquire), 4, "all chunks durable");
     });
 }
 
