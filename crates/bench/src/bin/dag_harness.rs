@@ -1,0 +1,80 @@
+//! Bench-gated perf harness for the derived-view DAG layer (DESIGN.md
+//! §17). Runs the DAG propagation sweep — four scheduling algorithms ×
+//! three DAG depths over the baseline update stream — and writes a
+//! machine-readable JSON artefact (default `BENCH_10.json`; first CLI
+//! argument overrides the path).
+//!
+//! Knobs: `REPRO_SECONDS` sets the simulated seconds per point
+//! (default 20).
+
+use std::fmt::Write as _;
+
+use strip_bench::dag_perf::{dag_propagation_sweep, dag_sweep_duration};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
+    // Fail before the measurements, not after them, if the artefact path
+    // is unwritable.
+    if let Err(e) = std::fs::File::create(&out_path) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    let duration = dag_sweep_duration();
+
+    eprintln!("# DAG propagation sweep ({duration} simulated seconds per point) …");
+    let points = dag_propagation_sweep(duration);
+    for p in &points {
+        eprintln!(
+            "{:<4} depth={} {:>12.0} events/s {:>12.0} deltas/s fold_derived={:.4}",
+            p.policy,
+            p.depth,
+            p.events_per_sec(),
+            p.deltas_per_sec(),
+            p.fold_derived,
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": 10,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"derived-view DAG propagation: end-to-end simulator throughput \
+         and delta settlement rate vs DAG depth, four scheduling algorithms, baseline \
+         update stream. deltas_settled = applied + coalesced + shed; fold_derived is the \
+         time-averaged stale fraction of derived views.\","
+    );
+    let _ = writeln!(json, "  \"simulated_seconds_per_point\": {duration},");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\n      \"policy\": \"{}\",\n      \"depth\": {},\n      \
+             \"wall_secs\": {:.6},\n      \"events\": {},\n      \
+             \"events_per_sec\": {:.1},\n      \"enqueued\": {},\n      \
+             \"deltas_settled\": {},\n      \"deltas_per_sec\": {:.1},\n      \
+             \"od_refreshes\": {},\n      \"fold_derived\": {:.6}\n    }}",
+            p.policy,
+            p.depth,
+            p.wall_secs,
+            p.events,
+            p.events_per_sec(),
+            p.enqueued,
+            p.deltas_settled,
+            p.deltas_per_sec(),
+            p.od_refreshes,
+            p.fold_derived,
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,125 @@
+//! Measurement core of the derived-view DAG perf layer (the `dag_harness`
+//! binary, DESIGN.md §17).
+//!
+//! One timed end-to-end sweep: the baseline workload over a derived-view
+//! DAG whose depth grows while the node count stays roughly constant, for
+//! every scheduling algorithm. Each point reports wall-clock, simulator
+//! event throughput, and *delta throughput* — typed deltas terminally
+//! accounted (applied + coalesced + shed) per wall second — which is the
+//! price of incremental view maintenance layered on the update stream.
+
+use std::time::Instant;
+
+use strip_core::config::{DagSpec, Policy, SimConfig};
+use strip_workload::run_paper_sim;
+
+/// DAG depths swept by the harness; width shrinks with depth so only the
+/// propagation distance varies, not the node count.
+pub const DAG_BENCH_DEPTHS: [u32; 3] = [1, 3, 6];
+
+/// One timed point of the DAG propagation sweep.
+#[derive(Debug, Clone)]
+pub struct DagPoint {
+    /// Policy label ("UF", "TF", "SU", "OD").
+    pub policy: &'static str,
+    /// DAG depth of this point.
+    pub depth: u32,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Discrete events the engine processed.
+    pub events: u64,
+    /// Deltas enqueued by base installs.
+    pub enqueued: u64,
+    /// Deltas terminally accounted: applied + coalesced + shed.
+    pub deltas_settled: u64,
+    /// Recursive on-demand refreshes (OD only).
+    pub od_refreshes: u64,
+    /// Time-averaged stale fraction of derived views.
+    pub fold_derived: f64,
+}
+
+impl DagPoint {
+    /// Simulator event throughput, events per wall second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+
+    /// Delta settlement throughput, deltas per wall second.
+    #[must_use]
+    pub fn deltas_per_sec(&self) -> f64 {
+        self.deltas_settled as f64 / self.wall_secs
+    }
+}
+
+/// Simulated seconds per sweep point: `REPRO_SECONDS` when set, else 20.
+#[must_use]
+pub fn dag_sweep_duration() -> f64 {
+    std::env::var("REPRO_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|d| *d > 0.0)
+        .unwrap_or(20.0)
+}
+
+/// Runs the DAG propagation sweep (four policies × [`DAG_BENCH_DEPTHS`]) at
+/// `duration` simulated seconds per point, timing each run individually.
+#[must_use]
+pub fn dag_propagation_sweep(duration: f64) -> Vec<DagPoint> {
+    let mut points = Vec::new();
+    for &policy in &Policy::PAPER_SET {
+        for &depth in &DAG_BENCH_DEPTHS {
+            let cfg = SimConfig::builder()
+                .policy(policy)
+                .duration(duration)
+                .seed(0x5712_1995)
+                .dag(Some(DagSpec {
+                    depth,
+                    width: (120 / depth).max(1),
+                    ..DagSpec::default()
+                }))
+                .build()
+                .expect("dag sweep config is valid");
+            let started = Instant::now();
+            let report = run_paper_sim(&cfg);
+            let wall_secs = started.elapsed().as_secs_f64();
+            let d = &report.dag;
+            points.push(DagPoint {
+                policy: policy.label(),
+                depth,
+                wall_secs,
+                events: report.cpu.events_processed,
+                enqueued: d.enqueued,
+                deltas_settled: d.applied + d.coalesced + d.shed,
+                od_refreshes: d.od_refreshes,
+                fold_derived: d.fold_derived,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_sweep_produces_grid_points() {
+        // 5 simulated seconds: long enough that even TF/OD — which defer
+        // installs under load — install some bases at every depth.
+        let points = dag_propagation_sweep(5.0);
+        assert_eq!(points.len(), 4 * DAG_BENCH_DEPTHS.len());
+        for p in &points {
+            assert!(p.wall_secs > 0.0);
+            assert!(p.events > 0);
+            assert!(p.enqueued > 0, "base installs must enqueue deltas");
+            assert!(p.deltas_settled <= p.enqueued);
+            assert!(p.fold_derived.is_finite());
+        }
+        // OD is the only algorithm that refreshes on demand.
+        assert!(points
+            .iter()
+            .filter(|p| p.policy != "OD")
+            .all(|p| p.od_refreshes == 0));
+    }
+}

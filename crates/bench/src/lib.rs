@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod dag_perf;
 pub mod live_perf;
 pub mod perf;
 

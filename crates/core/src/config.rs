@@ -10,6 +10,9 @@ use strip_db::cost::CostModel;
 use strip_db::history::HistoryPolicy;
 use strip_db::staleness::StalenessSpec;
 
+/// Re-export of the derived-view DAG shape for convenience.
+pub use strip_db::dag::DagSpec;
+
 /// The update-scheduling policy (paper §4 plus §7 extensions).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Policy {
@@ -389,6 +392,10 @@ pub struct SimConfig {
     pub history: Option<HistoryAccess>,
     /// Update-triggered rules (paper §7 extension); `None` = no rules.
     pub triggers: Option<TriggerConfig>,
+    /// Derived-view DAG with incremental delta propagation (paper §7
+    /// extension, generalising single-level rules to multi-level views);
+    /// `None` = no derived views, the paper's model.
+    pub dag: Option<DagSpec>,
     /// Disk-resident buffer-pool model (paper §7 extension); `None` = the
     /// paper's main-memory database.
     pub io: Option<IoModel>,
@@ -463,6 +470,7 @@ impl Default for SimConfig {
             p_partial_update: 0.0,
             history: None,
             triggers: None,
+            dag: None,
             io: None,
             disturbance: None,
             admission: None,
@@ -629,6 +637,20 @@ impl SimConfig {
                 "rules need general objects to derive into",
             )?;
         }
+        if let Some(d) = self.dag {
+            check(d.depth > 0, "dag depth must be > 0")?;
+            check(d.width > 0, "dag width must be > 0")?;
+            check(d.fanout > 0, "dag fanout must be > 0")?;
+            check(
+                d.edge_cost_instr >= 0.0 && d.edge_cost_instr.is_finite(),
+                "dag edge cost must be >= 0",
+            )?;
+            check(d.max_pending > 0, "dag max_pending must be > 0")?;
+            check(
+                d.derived_reads_mean >= 0.0 && d.derived_reads_mean.is_finite(),
+                "dag derived_reads_mean must be >= 0",
+            )?;
+        }
         if let Some(d) = self.disturbance {
             check(d.burst_size >= 1, "disturbance burst_size must be >= 1")?;
             check(
@@ -750,6 +772,8 @@ impl SimConfigBuilder {
         history: Option<HistoryAccess>);
     setter!(/// Enables update-triggered rules.
         triggers: Option<TriggerConfig>);
+    setter!(/// Enables the derived-view DAG with delta propagation.
+        dag: Option<DagSpec>);
     setter!(/// Enables the disk-resident buffer-pool model.
         io: Option<IoModel>);
     setter!(/// Sets the number of low-importance view objects.
@@ -970,6 +994,24 @@ mod tests {
             }))
             .build()
             .is_err());
+        assert!(SimConfig::builder()
+            .dag(Some(DagSpec {
+                depth: 0,
+                ..DagSpec::default()
+            }))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .dag(Some(DagSpec {
+                edge_cost_instr: -1.0,
+                ..DagSpec::default()
+            }))
+            .build()
+            .is_err());
+        assert!(SimConfig::builder()
+            .dag(Some(DagSpec::default()))
+            .build()
+            .is_ok());
     }
 
     #[test]

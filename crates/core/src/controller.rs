@@ -24,10 +24,11 @@
 //! every activity exactly as they would in the real system.
 
 use strip_db::cost::CostModel;
+use strip_db::dag::{generate_dag, DagState, ViewDag};
 use strip_db::history::HistoryStore;
 use strip_db::object::{Importance, ViewObjectId};
 use strip_db::osqueue::OsQueue;
-use strip_db::staleness::{ExpiryWatch, StalenessSpec, StalenessTracker};
+use strip_db::staleness::{DerivedStaleness, ExpiryWatch, StalenessSpec, StalenessTracker};
 use strip_db::store::{InstallOutcome, Store};
 use strip_db::triggers::{generate_rules, RuleSet};
 use strip_db::update::Update;
@@ -88,6 +89,9 @@ enum TxnSliceKind {
     OdApply { obj: ViewObjectId, remaining: f64 },
     /// Waiting out a buffer-pool miss on a view read (disk extension).
     IoStall { obj: ViewObjectId, remaining: f64 },
+    /// Recursively refreshing the stale ancestors of a derived node before
+    /// its read is answered (OD generalised to the view DAG).
+    DagRefresh { node: u32, remaining: f64 },
 }
 
 /// The job occupying the CPU.
@@ -106,6 +110,10 @@ enum Job {
     QueueTransfer,
     /// Executing one fired rule (triggers extension).
     RuleExec { rule_id: u32, fired_at: SimTime },
+    /// Applying one pending DAG delta in the background (derived-view
+    /// extension): recompute the node from its current inputs, cascade on
+    /// change.
+    DagApply { node: u32 },
 }
 
 #[derive(Debug, Clone)]
@@ -163,10 +171,17 @@ pub struct Controller<U, T> {
     /// which reads are as-of reads.
     history: Option<HistoryStore>,
     hist_rng: Xoshiro256pp,
-    /// Update-triggered rules (extension).
+    /// Update-triggered rules (extension). `rule_pending` maps a pending
+    /// rule to the set of distinct sources that changed since it was
+    /// queued — the delta-scaled execution charge depends on it.
     rules: Option<RuleSet>,
     rule_queue: std::collections::VecDeque<(u32, SimTime)>,
-    rule_pending: std::collections::BTreeSet<u32>,
+    rule_pending: std::collections::BTreeMap<u32, std::collections::BTreeSet<ViewObjectId>>,
+    /// Derived-view DAG (extension): topology, maintenance state and the
+    /// transitive-staleness observer.
+    dag: Option<ViewDag>,
+    dag_state: Option<DagState>,
+    derived_stale: Option<DerivedStaleness>,
     /// Buffer-pool model (disk extension).
     io_rng: Xoshiro256pp,
     /// Per-object view-read counts, feeding the HotFirst discipline
@@ -273,6 +288,18 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             .disturbance
             .and_then(|d| d.outage_window())
             .map(|(from, to)| (SimTime::from_secs(from), SimTime::from_secs(to)));
+        // The DAG sub-stream (0xDA6) is only drawn when the extension is
+        // on, so DAG-less configs stay bit-identical to the seed.
+        let dag = cfg.dag.map(|spec| {
+            let mut dag_rng = root.substream(0xDA6);
+            generate_dag(&spec, cfg.n_low, cfg.n_high, &mut dag_rng)
+        });
+        let dag_state = dag
+            .as_ref()
+            .map(|d| DagState::new(d, &store, cfg.dag.map_or(1, |s| s.max_pending)));
+        let derived_stale = dag
+            .as_ref()
+            .map(|d| DerivedStaleness::new(d.len(), SimTime::ZERO));
         Ok(Controller {
             costs,
             alpha,
@@ -299,7 +326,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             hist_rng,
             rules,
             rule_queue: std::collections::VecDeque::new(),
-            rule_pending: std::collections::BTreeSet::new(),
+            rule_pending: std::collections::BTreeMap::new(),
+            dag,
+            dag_state,
+            derived_stale,
             io_rng: root.substream(0xD15C),
             read_counts: [vec![0; cfg.n_low as usize], vec![0; cfg.n_high as usize]],
             outage,
@@ -385,6 +415,13 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         ) as u64;
         self.metrics
             .rules_pending_at_end(self.rule_queue.len() as u64 + rule_on_cpu);
+        // A DagApply slice cut off by the horizon never removed its entry
+        // from the pending map, so the map alone is the pending bucket.
+        if let Some(state) = self.dag_state.as_ref() {
+            let fold = self.derived_stale.as_ref().map_or(0.0, |ds| ds.fold(end));
+            self.metrics
+                .dag_totals(state.stats, state.pending_len() as u64, fold);
+        }
         let drops = QueueDrops {
             expired: self.uq.expired_dropped(),
             overflow: self.uq.overflow_dropped(),
@@ -581,9 +618,11 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             Job::Txn(TxnSliceKind::StaleScan { .. }) => TraceJob::StaleScan,
             Job::Txn(TxnSliceKind::OdApply { .. }) => TraceJob::OdApply,
             Job::Txn(TxnSliceKind::IoStall { .. }) => TraceJob::IoStall,
+            Job::Txn(TxnSliceKind::DagRefresh { .. }) => TraceJob::DagRefresh,
             Job::Install { .. } => TraceJob::Install,
             Job::QueueTransfer => TraceJob::QueueTransfer,
             Job::RuleExec { .. } => TraceJob::RuleExec,
+            Job::DagApply { .. } => TraceJob::DagApply,
         };
         (track, kind)
     }
@@ -603,10 +642,14 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             Job::Txn(TxnSliceKind::Segment) | Job::Txn(TxnSliceKind::IoStall { .. }) => {
                 Activity::Txn
             }
-            // Queue scans and on-demand installs are update work (the paper
-            // counts OD's on-demand installs in ρu — Figure 3b).
+            // Queue scans, on-demand installs and on-demand DAG refreshes
+            // are update work (the paper counts OD's on-demand installs in
+            // ρu — Figure 3b).
             Job::Txn(_) => Activity::Update,
-            Job::Install { .. } | Job::QueueTransfer | Job::RuleExec { .. } => Activity::Update,
+            Job::Install { .. }
+            | Job::QueueTransfer
+            | Job::RuleExec { .. }
+            | Job::DagApply { .. } => Activity::Update,
         }
     }
 
@@ -673,6 +716,12 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                     TxnSliceKind::IoStall { obj, remaining } => {
                         rt.slice = TxnSliceKind::IoStall {
                             obj,
+                            remaining: (remaining - elapsed).max(0.0),
+                        };
+                    }
+                    TxnSliceKind::DagRefresh { node, remaining } => {
+                        rt.slice = TxnSliceKind::DagRefresh {
+                            node,
                             remaining: (remaining - elapsed).max(0.0),
                         };
                     }
@@ -755,6 +804,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                     history.record(update.object, update.generation_ts, update.payload);
                 }
                 self.fire_rules(update.object, now);
+                self.propagate_base_install(update, now);
                 true
             }
             InstallOutcome::Superseded => false,
@@ -880,6 +930,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
             s @ TxnSliceKind::StaleScan { remaining, .. } => (s, remaining),
             s @ TxnSliceKind::OdApply { remaining, .. } => (s, remaining),
             s @ TxnSliceKind::IoStall { remaining, .. } => (s, remaining),
+            s @ TxnSliceKind::DagRefresh { remaining, .. } => (s, remaining),
         };
         self.start_slice(now, duration, Job::Txn(kind), ctx);
         true
@@ -895,12 +946,14 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         // Collect first: firing mutates queue/pending while `rules` borrows.
         let fired: Vec<u32> = rules.triggered_by(object).to_vec();
         for id in fired {
-            if self.rule_pending.contains(&id) {
+            if let Some(changed) = self.rule_pending.get_mut(&id) {
+                changed.insert(object);
                 self.metrics.rule_fired(now, true, false);
             } else if self.rule_queue.len() >= max_pending {
                 self.metrics.rule_fired(now, false, true);
             } else {
-                self.rule_pending.insert(id);
+                self.rule_pending
+                    .insert(id, std::iter::once(object).collect());
                 self.rule_queue.push_back((id, now));
                 self.metrics.rule_fired(now, false, false);
             }
@@ -908,17 +961,39 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         self.metrics.observe_rule_queue(self.rule_queue.len());
     }
 
-    /// Starts a rule-execution slice if a firing is pending.
+    /// Starts a rule-execution slice if a firing is pending; otherwise
+    /// falls through to DAG delta propagation.
     fn try_rule_step(&mut self, now: SimTime, ctx: &mut Ctx<'_, Event>) -> UpdateStep {
         let Some((rule_id, fired_at)) = self.rule_queue.pop_front() else {
-            return UpdateStep::Nothing;
+            return self.try_dag_step(now, ctx);
         };
+        // Delta-scaled charge (see `RuleSet::exec_cost`): a coalesced
+        // execution recomputes only its changed sources' share of the
+        // refresh, not the whole rule every time.
+        let changed = self
+            .rule_pending
+            .get(&rule_id)
+            .map_or(0, std::collections::BTreeSet::len);
         let exec_instr = self
             .rules
             .as_ref()
-            .map_or(0.0, |r| r.rule(rule_id).exec_instr);
+            .map_or(0.0, |r| r.exec_cost(rule_id, changed));
         let duration = self.costs.secs(exec_instr) + self.take_preempt_cost();
         self.start_slice(now, duration, Job::RuleExec { rule_id, fired_at }, ctx);
+        UpdateStep::StartedSlice
+    }
+
+    /// Starts a delta-application slice when the DAG has pending deltas:
+    /// the rank-order drain always applies the lowest pending node id,
+    /// which (ids being topological) is never waiting on a node below it.
+    fn try_dag_step(&mut self, now: SimTime, ctx: &mut Ctx<'_, Event>) -> UpdateStep {
+        let Some(node) = self.dag_state.as_ref().and_then(DagState::next_pending) else {
+            return UpdateStep::Nothing;
+        };
+        let inputs = self.dag.as_ref().map_or(0, |d| d.inputs(node).len());
+        let instr = self.cfg.dag.map_or(0.0, |s| s.edge_cost_instr) * inputs as f64;
+        let duration = self.costs.secs(instr) + self.take_preempt_cost();
+        self.start_slice(now, duration, Job::DagApply { node }, ctx);
         UpdateStep::StartedSlice
     }
 
@@ -1171,6 +1246,10 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 self.metrics.rule_executed(now, now.since(fired_at));
                 self.dispatch(now, ctx);
             }
+            Job::DagApply { node } => {
+                self.dag_apply(node, now);
+                self.dispatch(now, ctx);
+            }
             Job::Txn(kind) => self.on_txn_slice_done(kind, now, ctx),
         }
     }
@@ -1183,6 +1262,7 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 rt.txn.arm_segment(&self.costs);
                 match finished {
                     Segment::Work(_) => self.continue_txn(now, ctx),
+                    Segment::ReadDerived(node) => self.handle_derived_read(node, now, ctx),
                     Segment::ReadView(obj) => {
                         self.read_counts[obj.class.index()][obj.index as usize] += 1;
                         // Disk extension: the lookup may miss the buffer
@@ -1211,6 +1291,12 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
                 }
             }
             TxnSliceKind::StaleScan { obj, .. } => self.handle_post_scan(obj, now, ctx),
+            TxnSliceKind::DagRefresh { node, .. } => {
+                let rt = Self::running(&mut self.running, now, "derived-read refresh completion");
+                rt.slice = TxnSliceKind::Segment;
+                self.perform_dag_refresh(node, now);
+                self.finalize_derived_read(node, now, ctx);
+            }
             TxnSliceKind::IoStall { obj, .. } => {
                 let rt = Self::running(&mut self.running, now, "I/O stall completion");
                 rt.slice = TxnSliceKind::Segment;
@@ -1399,6 +1485,122 @@ impl<U: UpdateSource, T: TxnSource> Controller<U, T> {
         self.continue_txn(now, ctx);
     }
 
+    // ---- derived-view DAG (extension) ---------------------------------------
+
+    /// A base install landed: enqueue typed deltas for every DAG dependent
+    /// and account the transitive-staleness change.
+    fn propagate_base_install(&mut self, update: &Update, now: SimTime) {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_mut()) else {
+            return;
+        };
+        state.on_base_install(dag, update.object, update.payload, now);
+        self.metrics.observe_dag_pending(state.pending_len());
+        let stale = state.stale_count();
+        if let Some(ds) = self.derived_stale.as_mut() {
+            ds.observe(now, stale);
+        }
+    }
+
+    /// A background delta-application slice completed: recompute the node,
+    /// cascade on change, account the outcome.
+    fn dag_apply(&mut self, node: u32, now: SimTime) {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_mut()) else {
+            return;
+        };
+        if let Some(r) = state.apply(dag, &self.store, node, now) {
+            self.metrics.dag_delta_applied(now, r.lag);
+        }
+        self.metrics.observe_dag_pending(state.pending_len());
+        let stale = state.stale_count();
+        if let Some(ds) = self.derived_stale.as_mut() {
+            ds.observe(now, stale);
+        }
+    }
+
+    /// CPU seconds a recursive on-demand refresh of `node` costs: one
+    /// recompute per stale ancestor, at `edge_cost_instr` per input edge.
+    fn dag_refresh_work(&self, node: u32) -> f64 {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_ref()) else {
+            return 0.0;
+        };
+        let per_edge = self.cfg.dag.map_or(0.0, |s| s.edge_cost_instr);
+        let instr: f64 = state
+            .stale_closure(dag, node)
+            .iter()
+            .map(|&n| per_edge * dag.inputs(n).len() as f64)
+            .sum();
+        self.costs.secs(instr)
+    }
+
+    /// Applies the stale ancestor closure of `node` in topological order —
+    /// the recursive on-demand refresh performed before a derived read is
+    /// answered. Cascades that leave the ancestor cone stay pending for
+    /// background propagation (the refresh repairs the read, not the
+    /// world).
+    fn perform_dag_refresh(&mut self, node: u32, now: SimTime) {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_mut()) else {
+            return;
+        };
+        self.metrics.dag_od_refresh(now);
+        for n in state.stale_closure(dag, node) {
+            // Transitively stale ancestors may have nothing pending yet;
+            // apply() is a no-op for them unless an in-cone cascade (from a
+            // lower closure member, already applied — ascending order)
+            // queued one.
+            if let Some(r) = state.apply(dag, &self.store, n, now) {
+                self.metrics.dag_delta_applied(now, r.lag);
+            }
+        }
+        self.metrics.observe_dag_pending(state.pending_len());
+        let stale = state.stale_count();
+        if let Some(ds) = self.derived_stale.as_mut() {
+            ds.observe(now, stale);
+        }
+    }
+
+    /// A derived-node read finished its lookup: under OD a stale node is
+    /// recursively refreshed along the DAG before the read is answered
+    /// (the generalisation of §4.4 to multi-level views; the scan/refresh
+    /// decision lives in the shared policy module).
+    fn handle_derived_read(&mut self, node: u32, now: SimTime, ctx: &mut Ctx<'_, Event>) {
+        let node_stale = self.dag_state.as_ref().is_some_and(|s| s.is_stale(node));
+        if policy::dag_refresh(self.cfg.policy, node_stale) {
+            let work = self.dag_refresh_work(node);
+            if work > 0.0 {
+                let rt = Self::running(&mut self.running, now, "derived-read refresh decision");
+                rt.slice = TxnSliceKind::DagRefresh {
+                    node,
+                    remaining: work,
+                };
+                self.start_slice(
+                    now,
+                    work,
+                    Job::Txn(TxnSliceKind::DagRefresh {
+                        node,
+                        remaining: work,
+                    }),
+                    ctx,
+                );
+                return;
+            }
+            self.perform_dag_refresh(node, now);
+        }
+        self.finalize_derived_read(node, now, ctx);
+    }
+
+    /// Concludes a derived-node read: record (transitive) staleness and
+    /// continue. Derived staleness is advisory — like the paper's fold
+    /// metrics it is reported, not aborted on.
+    fn finalize_derived_read(&mut self, node: u32, now: SimTime, ctx: &mut Ctx<'_, Event>) {
+        let stale = self.dag_state.as_ref().is_some_and(|s| s.is_stale(node));
+        let arrival = Self::running(&mut self.running, now, "derived-read finalisation")
+            .txn
+            .spec()
+            .arrival;
+        self.metrics.derived_read(arrival, stale);
+        self.continue_txn(now, ctx);
+    }
+
     /// Starts the next planned segment, or commits if the plan is complete.
     fn continue_txn(&mut self, now: SimTime, ctx: &mut Ctx<'_, Event>) {
         let rt = Self::running(&mut self.running, now, "transaction continuation");
@@ -1547,6 +1749,7 @@ impl<U: UpdateSource, T: TxnSource> Simulation for Controller<U, T> {
 ///     slack: 0.5,
 ///     compute_time: 0.1,
 ///     reads: vec![],
+///     derived_reads: vec![],
 /// }]);
 /// let report = run_simulation(&cfg, NoArrivals, txns);
 /// assert_eq!(report.txns.committed, 1);

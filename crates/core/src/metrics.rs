@@ -12,7 +12,7 @@ use strip_sim::stats::Welford;
 use strip_sim::time::SimTime;
 
 use crate::report::{
-    CpuStats, DurabilityStats, HistoryStats, ResilienceStats, RunReport, TimelineWindow,
+    CpuStats, DagStats, DurabilityStats, HistoryStats, ResilienceStats, RunReport, TimelineWindow,
     TriggerStats, TxnCounts, UpdateCounts,
 };
 use crate::txn::Transaction;
@@ -56,6 +56,8 @@ pub struct Metrics {
     history: HistoryStats,
     triggers: TriggerStats,
     rule_lag: Welford,
+    dag: DagStats,
+    dag_lag: Welford,
     io_misses_reads: u64,
     io_misses_installs: u64,
     timeline_width: Option<f64>,
@@ -78,6 +80,8 @@ impl Metrics {
             history: HistoryStats::default(),
             triggers: TriggerStats::default(),
             rule_lag: Welford::new(),
+            dag: DagStats::default(),
+            dag_lag: Welford::new(),
             io_misses_reads: 0,
             io_misses_installs: 0,
             timeline_width: None,
@@ -240,6 +244,63 @@ impl Metrics {
         self.triggers.pending_at_end = pending;
     }
 
+    // ---- derived-view DAG events (extension) -------------------------------
+    //
+    // The propagation buckets (`enqueued`/`applied`/`coalesced`/`shed`/
+    // `pending_at_end`) are copied verbatim from the DAG state's own
+    // counters in [`Metrics::dag_totals`] and are deliberately *not*
+    // warm-up-gated: the delta conservation law is checked on run totals,
+    // and gating some buckets but not others would break it. Per-read and
+    // per-refresh observations below are gated like their rule/view twins.
+
+    /// A derived-node read completed; `stale` is whether the node was
+    /// (transitively) stale at read time.
+    pub fn derived_read(&mut self, txn_arrival: SimTime, stale: bool) {
+        if !self.in_window(txn_arrival) {
+            return;
+        }
+        self.dag.derived_reads += 1;
+        if stale {
+            self.dag.stale_derived_reads += 1;
+        }
+    }
+
+    /// A pending DAG delta was applied; `lag` is seconds since the entry's
+    /// first enqueue.
+    pub fn dag_delta_applied(&mut self, now: SimTime, lag: f64) {
+        if self.in_window(now) {
+            self.dag_lag.push(lag);
+        }
+    }
+
+    /// A recursive on-demand refresh pass ran before a derived read.
+    pub fn dag_od_refresh(&mut self, now: SimTime) {
+        if self.in_window(now) {
+            self.dag.od_refreshes += 1;
+        }
+    }
+
+    /// Tracks the pending-delta high-water mark.
+    pub fn observe_dag_pending(&mut self, len: usize) {
+        self.dag.max_pending = self.dag.max_pending.max(len as u64);
+    }
+
+    /// Copies the DAG state's end-of-run propagation counters and the
+    /// time-weighted derived staleness fold into the report.
+    pub fn dag_totals(
+        &mut self,
+        counters: strip_db::dag::DagCounters,
+        pending_at_end: u64,
+        fold_derived: f64,
+    ) {
+        self.dag.enqueued = counters.enqueued;
+        self.dag.applied = counters.applied;
+        self.dag.coalesced = counters.coalesced;
+        self.dag.shed = counters.shed;
+        self.dag.pending_at_end = pending_at_end;
+        self.dag.fold_derived = fold_derived;
+    }
+
     // ---- update events -----------------------------------------------------
 
     /// An update arrived at the system; `os_accepted` is false when the OS
@@ -380,6 +441,11 @@ impl Metrics {
                 t.lag_mean = self.rule_lag.mean();
                 t
             },
+            dag: {
+                let mut d = self.dag;
+                d.lag_mean = self.dag_lag.mean();
+                d
+            },
             resilience,
             durability: DurabilityStats::default(),
             timeline: self.timeline,
@@ -458,6 +524,7 @@ mod tests {
                 slack: 1.0,
                 compute_time: 0.1,
                 reads: vec![],
+                derived_reads: vec![],
             },
             0.0,
             &CostModel::default(),
@@ -557,6 +624,48 @@ mod tests {
             0,
         );
         assert!((r.txns.response_mean - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_metrics_flow_into_report() {
+        let mut m = Metrics::new(t(10.0));
+        m.derived_read(t(5.0), true); // before the window: ignored
+        m.derived_read(t(15.0), true);
+        m.derived_read(t(16.0), false);
+        m.dag_delta_applied(t(15.0), 2.0);
+        m.dag_delta_applied(t(16.0), 4.0);
+        m.dag_od_refresh(t(15.0));
+        m.observe_dag_pending(3);
+        m.observe_dag_pending(7);
+        m.dag_totals(
+            strip_db::dag::DagCounters {
+                enqueued: 10,
+                applied: 6,
+                coalesced: 2,
+                shed: 1,
+            },
+            1,
+            0.25,
+        );
+        let tr = tracker();
+        m.snapshot_warmup(&tr, t(10.0));
+        let r = m.finalize(
+            "OD",
+            1,
+            20.0,
+            t(20.0),
+            &tr,
+            QueueDrops::default(),
+            ResilienceStats::default(),
+            0,
+        );
+        assert_eq!(r.dag.derived_reads, 2);
+        assert_eq!(r.dag.stale_derived_reads, 1);
+        assert_eq!(r.dag.od_refreshes, 1);
+        assert_eq!(r.dag.max_pending, 7);
+        assert!((r.dag.lag_mean - 3.0).abs() < 1e-12);
+        assert_eq!(r.dag.enqueued, r.dag.terminal_total());
+        assert!((r.dag.fold_derived - 0.25).abs() < 1e-12);
     }
 
     #[test]

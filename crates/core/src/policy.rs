@@ -19,6 +19,7 @@
 //! | received update installed now or queued? | §4.1–§4.3 | [`arrival_route`] |
 //! | view read pays a queue scan? | §3.4/§4.4/§6.3 | [`read_check`] |
 //! | OD applies a queued update on demand? | §4.4 | [`od_refresh`] |
+//! | derived read refreshes its ancestor closure? | §4.4 generalised | [`dag_refresh`] |
 //! | staleness verdicts (metric vs system) | §3.2/§6.2 | [`metric_uses_tracker`], [`system_stale`] |
 //! | update-queue service order | §4.2 Fig. 11 | [`service_order`] |
 
@@ -153,6 +154,20 @@ pub fn od_refresh(
     policy == Policy::OnDemand && queued_newest.is_some_and(|g| g > installed_generation)
 }
 
+/// OD generalised to the derived-view DAG: true when a derived-node read
+/// pulls a fresh ancestor closure (applies every pending delta above the
+/// node, in topological order) before answering. Only OD refreshes, and
+/// only when the node is *transitively* stale — an unapplied delta on the
+/// node itself or anywhere in its ancestor chain. Every other policy
+/// answers from the possibly-stale materialised value, exactly as flat OD
+/// is the only policy that installs queued updates on a view read.
+/// Shared verbatim by the simulator and the live executor so derived
+/// reads keep sim/live decision parity.
+#[must_use]
+pub fn dag_refresh(policy: Policy, node_stale: bool) -> bool {
+    policy == Policy::OnDemand && node_stale
+}
+
 /// True when the *metric* staleness verdict of a view read comes from the
 /// receive-side tracker (UU and the combined criterion) rather than the
 /// store's MA timestamp.
@@ -282,6 +297,21 @@ mod tests {
         assert!(!od_refresh(Policy::OnDemand, Some(t(1.0)), t(1.0)));
         assert!(!od_refresh(Policy::OnDemand, None, t(1.0)));
         assert!(!od_refresh(Policy::TransactionsFirst, Some(t(2.0)), t(1.0)));
+    }
+
+    #[test]
+    fn dag_refresh_is_od_on_stale_only() {
+        assert!(dag_refresh(Policy::OnDemand, true));
+        assert!(!dag_refresh(Policy::OnDemand, false));
+        for p in [
+            Policy::UpdatesFirst,
+            Policy::TransactionsFirst,
+            Policy::SplitUpdates,
+            Policy::FixedFraction { fraction: 0.5 },
+        ] {
+            assert!(!dag_refresh(p, true));
+            assert!(!dag_refresh(p, false));
+        }
     }
 
     #[test]

@@ -108,6 +108,7 @@ mod tests {
                 slack,
                 compute_time: compute,
                 reads: vec![],
+                derived_reads: vec![],
             },
             0.0,
             &CostModel::default(),

@@ -213,6 +213,53 @@ pub struct TriggerStats {
     pub max_pending: u64,
 }
 
+/// Derived-view DAG accounting (extension; zeros when no DAG is
+/// configured). The propagation buckets obey the conservation law
+/// `enqueued = applied + coalesced + shed + pending_at_end` on run totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DagStats {
+    /// Delta enqueue events (base installs plus cascades).
+    pub enqueued: u64,
+    /// Pending deltas applied (background drain plus on-demand refreshes).
+    pub applied: u64,
+    /// Enqueues merged into an already-pending node.
+    pub coalesced: u64,
+    /// Enqueues rejected by the pending bound.
+    pub shed: u64,
+    /// Pending deltas left at the horizon.
+    pub pending_at_end: u64,
+    /// Derived-node reads performed by transactions.
+    pub derived_reads: u64,
+    /// Derived reads that observed a (transitively) stale node.
+    pub stale_derived_reads: u64,
+    /// Recursive on-demand refresh passes performed before derived reads.
+    pub od_refreshes: u64,
+    /// Mean delay from a delta's first enqueue to its application, seconds.
+    pub lag_mean: f64,
+    /// Largest number of simultaneously pending nodes observed.
+    pub max_pending: u64,
+    /// Time-weighted fraction of transitively stale derived nodes
+    /// (`fold_derived` — the DAG twin of `fold_l`/`fold_h`).
+    pub fold_derived: f64,
+}
+
+impl DagStats {
+    /// Every enqueue ends in exactly one terminal bucket.
+    #[must_use]
+    pub fn terminal_total(&self) -> u64 {
+        self.applied + self.coalesced + self.shed + self.pending_at_end
+    }
+
+    /// Fraction of derived reads that observed a stale node.
+    #[must_use]
+    pub fn stale_derived_fraction(&self) -> f64 {
+        if self.derived_reads == 0 {
+            return 0.0;
+        }
+        self.stale_derived_reads as f64 / self.derived_reads as f64
+    }
+}
+
 /// Resilience accounting (robustness extension; all zeros/`None` for an
 /// undisturbed run with the paper's queue policies).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -385,6 +432,8 @@ pub struct RunReport {
     pub history: HistoryStats,
     /// Update-triggered rule accounting (extension).
     pub triggers: TriggerStats,
+    /// Derived-view DAG accounting (extension).
+    pub dag: DagStats,
     /// Resilience accounting (robustness extension).
     pub resilience: ResilienceStats,
     /// Durability accounting (live-runtime WAL extension).
@@ -534,6 +583,23 @@ impl RunReport {
             g.pending_at_end,
             json_f64(g.lag_mean),
             g.max_pending,
+        ));
+        let dg = &self.dag;
+        out.push_str(&format!(
+            "\"dag\":{{\"enqueued\":{},\"applied\":{},\"coalesced\":{},\"shed\":{},\
+             \"pending_at_end\":{},\"derived_reads\":{},\"stale_derived_reads\":{},\
+             \"od_refreshes\":{},\"lag_mean\":{},\"max_pending\":{},\"fold_derived\":{}}},",
+            dg.enqueued,
+            dg.applied,
+            dg.coalesced,
+            dg.shed,
+            dg.pending_at_end,
+            dg.derived_reads,
+            dg.stale_derived_reads,
+            dg.od_refreshes,
+            json_f64(dg.lag_mean),
+            dg.max_pending,
+            json_f64(dg.fold_derived),
         ));
         let r = &self.resilience;
         out.push_str(&format!(
@@ -769,6 +835,25 @@ impl RunReport {
                 lag_mean: mf(&|r| r.triggers.lag_mean),
                 max_pending: mu(&|r| r.triggers.max_pending),
             },
+            dag: {
+                let mut d = DagStats {
+                    // Re-derived below from the rounded terminal buckets so
+                    // the delta conservation law survives per-field rounding.
+                    enqueued: 0,
+                    applied: mu(&|r| r.dag.applied),
+                    coalesced: mu(&|r| r.dag.coalesced),
+                    shed: mu(&|r| r.dag.shed),
+                    pending_at_end: mu(&|r| r.dag.pending_at_end),
+                    derived_reads: mu(&|r| r.dag.derived_reads),
+                    stale_derived_reads: mu(&|r| r.dag.stale_derived_reads),
+                    od_refreshes: mu(&|r| r.dag.od_refreshes),
+                    lag_mean: mf(&|r| r.dag.lag_mean),
+                    max_pending: mu(&|r| r.dag.max_pending),
+                    fold_derived: mf(&|r| r.dag.fold_derived),
+                };
+                d.enqueued = d.terminal_total();
+                d
+            },
             resilience: ResilienceStats {
                 duplicated: mu(&|r| r.resilience.duplicated),
                 reordered: mu(&|r| r.resilience.reordered),
@@ -951,6 +1036,22 @@ impl RunReport {
                 pending_at_end: su(&|r| r.triggers.pending_at_end),
                 lag_mean: weighted(&|r| r.triggers.lag_mean, &|_| 1),
                 max_pending: mx(&|r| r.triggers.max_pending),
+            },
+            // Each stripe drives a full DAG replica over its own slice of the
+            // update stream, so counters sum exactly; the lag and staleness
+            // folds are per-stripe means averaged with equal weight.
+            dag: DagStats {
+                enqueued: su(&|r| r.dag.enqueued),
+                applied: su(&|r| r.dag.applied),
+                coalesced: su(&|r| r.dag.coalesced),
+                shed: su(&|r| r.dag.shed),
+                pending_at_end: su(&|r| r.dag.pending_at_end),
+                derived_reads: su(&|r| r.dag.derived_reads),
+                stale_derived_reads: su(&|r| r.dag.stale_derived_reads),
+                od_refreshes: su(&|r| r.dag.od_refreshes),
+                lag_mean: weighted(&|r| r.dag.lag_mean, &|_| 1),
+                max_pending: mx(&|r| r.dag.max_pending),
+                fold_derived: weighted(&|r| r.dag.fold_derived, &|_| 1),
             },
             resilience: ResilienceStats {
                 duplicated: su(&|r| r.resilience.duplicated),

@@ -32,6 +32,9 @@ pub struct TxnSpec {
     pub compute_time: f64,
     /// The view objects read in phase 2.
     pub reads: Vec<ViewObjectId>,
+    /// Derived DAG nodes read in phase 2, after the view reads (empty
+    /// unless the run configures a derived-view DAG).
+    pub derived_reads: Vec<u32>,
 }
 
 /// One CPU segment of a transaction's compiled plan.
@@ -41,6 +44,10 @@ pub enum Segment {
     Work(f64),
     /// Lookup + read of one view object (costs `x_lookup`).
     ReadView(ViewObjectId),
+    /// Lookup + read of one derived DAG node (costs `x_lookup`); under OD
+    /// the controller may inject a recursive ancestor-closure refresh
+    /// before the verdict.
+    ReadDerived(u32),
 }
 
 /// A transaction admitted to the system.
@@ -69,15 +76,17 @@ impl Transaction {
         let lookup = costs.lookup_time();
         let pre = spec.compute_time * p_view.clamp(0.0, 1.0);
         let post = spec.compute_time - pre;
-        let mut segments = Vec::with_capacity(spec.reads.len() + 2);
+        let mut segments = Vec::with_capacity(spec.reads.len() + spec.derived_reads.len() + 2);
         if pre > 0.0 {
             segments.push(Segment::Work(pre));
         }
         segments.extend(spec.reads.iter().map(|&id| Segment::ReadView(id)));
+        segments.extend(spec.derived_reads.iter().map(|&n| Segment::ReadDerived(n)));
         if post > 0.0 {
             segments.push(Segment::Work(post));
         }
-        let base_exec = spec.compute_time + lookup * spec.reads.len() as f64;
+        let base_exec =
+            spec.compute_time + lookup * (spec.reads.len() + spec.derived_reads.len()) as f64;
         let deadline = spec.arrival + base_exec + spec.slack;
         let segment_remaining = segments
             .first()
@@ -98,7 +107,7 @@ impl Transaction {
     fn segment_cost(seg: &Segment, lookup: f64) -> f64 {
         match seg {
             Segment::Work(t) => *t,
-            Segment::ReadView(_) => lookup,
+            Segment::ReadView(_) | Segment::ReadDerived(_) => lookup,
         }
     }
 
@@ -238,6 +247,7 @@ mod tests {
             reads: (0..reads as u32)
                 .map(|i| ViewObjectId::new(Importance::Low, i))
                 .collect(),
+            derived_reads: Vec::new(),
         }
     }
 
@@ -307,6 +317,28 @@ mod tests {
         // deadline = 10 + 0.1 + 0.5 = 10.6; needs 0.1s of work
         assert!(t.feasible_at(SimTime::from_secs(10.5)));
         assert!(!t.feasible_at(SimTime::from_secs(10.51)));
+    }
+
+    #[test]
+    fn derived_reads_compile_after_view_reads_and_cost_a_lookup() {
+        let c = costs();
+        let mut s = spec(0.12, 1, 0.5);
+        s.derived_reads = vec![7, 3];
+        let mut t = Transaction::new(s, 0.25, &c);
+        let expected_exec = 0.12 + 3.0 * c.lookup_time();
+        assert!((t.base_exec() - expected_exec).abs() < 1e-15);
+        // pre-work, view read, then the derived reads in spec order.
+        assert!(matches!(t.current_segment(), Some(Segment::Work(_))));
+        t.complete_segment();
+        t.arm_segment(&c);
+        assert!(matches!(t.current_segment(), Some(Segment::ReadView(_))));
+        t.complete_segment();
+        t.arm_segment(&c);
+        assert_eq!(t.current_segment(), Some(Segment::ReadDerived(7)));
+        assert!((t.segment_remaining() - c.lookup_time()).abs() < 1e-15);
+        t.complete_segment();
+        t.arm_segment(&c);
+        assert_eq!(t.current_segment(), Some(Segment::ReadDerived(3)));
     }
 
     #[test]

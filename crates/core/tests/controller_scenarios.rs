@@ -43,6 +43,7 @@ fn txn(id: u64, arrival: f64, compute: f64, slack: f64, reads: Vec<ViewObjectId>
         slack,
         compute_time: compute,
         reads,
+        derived_reads: vec![],
     }
 }
 
@@ -623,7 +624,7 @@ fn triggers_fire_and_execute_with_cost() {
     c.triggers = Some(TriggerConfig {
         n_rules: 200,
         sources_per_rule: 2,
-        exec_instr: 50_000.0, // 1 ms per execution
+        exec_instr: 50_000.0, // 1 ms per full refresh
         max_pending: 1_000,
     });
     // Two installs while the CPU is otherwise idle.
@@ -637,8 +638,11 @@ fn triggers_fire_and_execute_with_cost() {
         r.triggers
     );
     assert_eq!(r.triggers.dropped, 0);
-    // Each execution costs 1 ms of update-side CPU on top of two installs.
-    let expected = 2.0 * INSTALL + r.triggers.executed as f64 * 0.001;
+    // Execution charges scale with the coalesced delta set
+    // (`RuleSet::exec_cost`): the CPU is idle, so each install's firings
+    // drain before the next install arrives and every execution carries
+    // exactly one changed source out of two — half the 1 ms refresh.
+    let expected = 2.0 * INSTALL + r.triggers.executed as f64 * 0.000_5;
     assert!(
         (r.cpu.busy_update - expected).abs() < 1e-9,
         "busy_update {} expected {expected}",

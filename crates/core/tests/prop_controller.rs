@@ -88,6 +88,7 @@ fn build_sources(seed: &WorkloadSeed) -> (ScriptedUpdates, ScriptedTxns, u64, u6
             reads: (0..reads)
                 .map(|r| ViewObjectId::new(class, u32::from(r) % N_OBJ))
                 .collect(),
+            derived_reads: vec![],
         });
     }
     let (nu, nt) = (updates.len() as u64, txns.len() as u64);

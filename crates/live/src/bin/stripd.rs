@@ -27,7 +27,7 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use strip_core::config::{Policy, SimConfig};
+use strip_core::config::{DagSpec, Policy, SimConfig};
 use strip_db::staleness::StalenessSpec;
 use strip_live::executor::LiveConfig;
 use strip_live::server::serve_recovered;
@@ -50,6 +50,25 @@ struct Args {
     wal_rotate: u64,
     snapshot_secs: f64,
     recover: bool,
+    dag: Option<DagSpec>,
+}
+
+/// Parses a `--dag` value of the form `DEPTHxWIDTHxFANOUT` (e.g. `3x50x3`)
+/// into a [`DagSpec`] with the default cost knobs.
+fn parse_dag(s: &str) -> Option<DagSpec> {
+    let mut it = s.split('x');
+    let depth = it.next()?.parse().ok()?;
+    let width = it.next()?.parse().ok()?;
+    let fanout = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(DagSpec {
+        depth,
+        width,
+        fanout,
+        ..DagSpec::default()
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         wal_rotate: strip_live::wal::DEFAULT_ROTATE_BYTES,
         snapshot_secs: 5.0,
         recover: false,
+        dag: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -108,12 +128,19 @@ fn parse_args() -> Result<Args, String> {
             "--wal-rotate" => args.wal_rotate = parse_num(&val()?, &flag)?,
             "--snapshot-secs" => args.snapshot_secs = parse_num(&val()?, &flag)?,
             "--recover" => args.recover = true,
+            "--dag" => {
+                let v = val()?;
+                args.dag = Some(
+                    parse_dag(&v)
+                        .ok_or_else(|| format!("invalid --dag `{v}` (DEPTHxWIDTHxFANOUT)"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err("usage: stripd [--addr A] [--policy uf|tf|su|od] \
                      [--staleness ma|uu|either] [--max-age S] [--quantum-us US] \
                      [--n-low N] [--n-high N] [--stripes N] [--warmup S] [--seed N] \
                      [--wal DIR] [--fsync always|group:<us>|off] [--wal-rotate BYTES] \
-                     [--snapshot-secs S] [--recover]"
+                     [--snapshot-secs S] [--recover] [--dag DEPTHxWIDTHxFANOUT]"
                     .to_string())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -148,6 +175,7 @@ fn build_config(a: &Args) -> Result<SimConfig, String> {
         .max_age(a.max_age)
         .warmup(a.warmup)
         .seed(a.seed)
+        .dag(a.dag)
         .build()
         .map_err(|e| format!("config: {e}"))
 }
@@ -249,14 +277,18 @@ fn main() -> ExitCode {
             });
     }
     println!(
-        "stripd listening on {} policy={} staleness={} quantum={}us wal={} fsync={} stripes={}",
+        "stripd listening on {} policy={} staleness={} quantum={}us wal={} fsync={} stripes={} dag={}",
         handle.addr(),
         cfg.sim.policy.label(),
         args.staleness,
         args.quantum_us,
         args.wal_dir.as_deref().unwrap_or("off"),
         args.fsync,
-        args.stripes
+        args.stripes,
+        args.dag.map_or_else(
+            || "off".to_string(),
+            |d| format!("{}x{}x{}", d.depth, d.width, d.fanout)
+        )
     );
     match handle.wait() {
         Ok(report) => {

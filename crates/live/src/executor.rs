@@ -28,9 +28,10 @@ use strip_core::report::{ResilienceStats, RunReport};
 use strip_core::stripe::{splitmix64, StripeMap};
 use strip_core::txn::{Segment, Transaction, TxnSpec};
 use strip_db::cost::CostModel;
+use strip_db::dag::{generate_dag, DagState, ViewDag};
 use strip_db::object::{Importance, ViewObjectId};
 use strip_db::osqueue::OsQueue;
-use strip_db::staleness::{ExpiryWatch, StalenessSpec, StalenessTracker};
+use strip_db::staleness::{DerivedStaleness, ExpiryWatch, StalenessSpec, StalenessTracker};
 use strip_db::store::{InstallOutcome, Store};
 use strip_db::update::Update;
 use strip_db::update_queue::DualUpdateQueue;
@@ -39,12 +40,18 @@ use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
 
 use crate::clock::LiveClock;
-use crate::protocol::{WireQuery, WireQueryResponse, WireTxn, WireUpdate};
+use crate::protocol::{
+    WireDerivedQuery, WireDerivedQueryResponse, WireQuery, WireQueryResponse, WireTxn, WireUpdate,
+};
 use crate::spsc;
 
 /// `uu_stale` value in a [`WireQueryResponse`] for a query that named an
 /// object outside the configured store (0 = fresh, 1 = stale).
 pub const QUERY_NO_SUCH_OBJECT: u8 = 2;
+
+/// `stale` value in a [`WireDerivedQueryResponse`] for a query against a
+/// server with no DAG configured, or a node id out of range.
+pub const DERIVED_NO_SUCH_NODE: u8 = 2;
 
 /// Configuration of a live run: a plain [`SimConfig`] (the executor honours
 /// the same policy, staleness, queue and cost parameters as the simulator)
@@ -248,6 +255,16 @@ pub enum Ingest {
         /// Where to deliver the answer.
         reply: SyncSender<WireQueryResponse>,
     },
+    /// A read of one derived-view DAG node. Unlike [`Ingest::Query`] this
+    /// goes through the shared policy module: under OD a stale node is
+    /// recursively refreshed along the DAG before the answer leaves —
+    /// the same decision the simulator's controller makes.
+    DerivedQuery {
+        /// The node asked about.
+        q: WireDerivedQuery,
+        /// Where to deliver the answer.
+        reply: SyncSender<WireDerivedQueryResponse>,
+    },
     /// Request for an interim (or, after shutdown, final) [`RunReport`].
     Snapshot {
         /// Where to deliver the report.
@@ -305,6 +322,9 @@ enum Slice {
     StaleScan { obj: ViewObjectId, remaining: f64 },
     /// Applying an update found by the scan (OD refresh).
     OdApply { obj: ViewObjectId, remaining: f64 },
+    /// Recursively refreshing a derived node's stale ancestor cone before
+    /// a derived read is answered (OD, DAG extension).
+    DagRefresh { node: u32, remaining: f64 },
 }
 
 /// How a burned transaction slice ended.
@@ -349,6 +369,12 @@ pub struct Executor {
     alpha: Option<f64>,
     store: Store,
     tracker: StalenessTracker,
+    /// The derived-view DAG (extension); generated from the same seed and
+    /// substream as the simulator's, so both runtimes propagate over an
+    /// identical graph.
+    dag: Option<ViewDag>,
+    dag_state: Option<DagState>,
+    derived_stale: Option<DerivedStaleness>,
     os: OsQueue,
     uq: DualUpdateQueue,
     ready: strip_core::ready::ReadyQueue,
@@ -434,6 +460,21 @@ impl Executor {
             sim.uq_shed,
         );
         let read_counts = [vec![0; sim.n_low as usize], vec![0; sim.n_high as usize]];
+        // Derived state is recomputed from the store image, so a recovered
+        // store yields exactly the derived values a full recompute of the
+        // recovered base values implies (crash-lost pending deltas are
+        // subsumed: recovery replays their base installs, and DagState
+        // starts quiescent over the replayed store).
+        let dag = sim.dag.map(|spec| {
+            let mut dag_rng = Xoshiro256pp::seed_from_u64(sim.seed).substream(0xDA6);
+            generate_dag(&spec, sim.n_low, sim.n_high, &mut dag_rng)
+        });
+        let dag_state = dag
+            .as_ref()
+            .map(|d| DagState::new(d, &store, sim.dag.map_or(1, |s| s.max_pending)));
+        let derived_stale = dag
+            .as_ref()
+            .map(|d| DerivedStaleness::new(d.len(), SimTime::ZERO));
         Executor {
             quantum: cfg.quantum,
             clock: LiveClock::start(),
@@ -444,6 +485,9 @@ impl Executor {
             alpha: sim.staleness.alpha(),
             store,
             tracker,
+            dag,
+            dag_state,
+            derived_stale,
             os,
             uq,
             ready: strip_core::ready::ReadyQueue::new(),
@@ -566,6 +610,10 @@ impl Executor {
                 let _ = reply.send(self.answer_query(&q, now));
                 false
             }
+            Ingest::DerivedQuery { q, reply } => {
+                let _ = reply.send(self.answer_derived_query(q.node, now));
+                false
+            }
             Ingest::Snapshot { reply } => {
                 // The ack barrier: a stats reply acknowledges every update
                 // accepted before it, so those records must be written
@@ -640,6 +688,7 @@ impl Executor {
             slack: w.slack_micros as f64 * 1e-6,
             compute_time: w.compute_micros as f64 * 1e-6,
             reads,
+            derived_reads: Vec::new(),
         };
         self.metrics.txn_arrived(now, spec.class);
         let txn = Transaction::new(spec, self.cfg.p_view, &self.costs);
@@ -836,7 +885,32 @@ impl Executor {
             self.run_txn(now);
             return true;
         }
-        self.try_update_step(now, false) != Step::Nothing
+        if self.try_update_step(now, false) != Step::Nothing {
+            return true;
+        }
+        // Lowest-priority background work: drain one pending DAG delta
+        // (the live analogue of the controller's `try_dag_step`).
+        self.try_dag_step()
+    }
+
+    /// Applies one pending DAG delta as background update work. Returns
+    /// false when no delta is pending.
+    fn try_dag_step(&mut self) -> bool {
+        let Some(node) = self.dag_state.as_ref().and_then(DagState::next_pending) else {
+            return false;
+        };
+        let inputs = self.dag.as_ref().map_or(0, |d| d.inputs(node).len());
+        let instr = self.cfg.dag.map_or(0.0, |s| s.edge_cost_instr) * inputs as f64;
+        let duration = self.costs.secs(instr) + self.take_preempt_cost();
+        if duration > 0.0 && !self.burn_update_work(duration) {
+            // Shutdown mid-apply: the delta stays pending, so the final
+            // report's conservation identity still closes.
+            return true;
+        }
+        let now = self.clock.now();
+        self.events += 1;
+        self.dag_apply(node, now);
+        true
     }
 
     fn take_preempt_cost(&mut self) -> f64 {
@@ -965,7 +1039,8 @@ impl Executor {
         true
     }
 
-    /// Mirrors the controller's `apply_update` (no history, no triggers).
+    /// Mirrors the controller's `apply_update` (no history, no triggers;
+    /// DAG delta propagation included).
     fn apply_update(&mut self, update: &Update, now: SimTime) -> bool {
         match self.store.install(update) {
             InstallOutcome::Installed {
@@ -981,9 +1056,144 @@ impl Executor {
                         item: watch,
                     });
                 }
+                self.propagate_base_install(update, now);
                 true
             }
             InstallOutcome::Superseded => false,
+        }
+    }
+
+    // ---- derived-view DAG (extension) ---------------------------------------
+
+    /// A base install landed: enqueue typed deltas for every DAG dependent
+    /// and account the transitive-staleness change. Mirrors the
+    /// controller's method of the same name.
+    fn propagate_base_install(&mut self, update: &Update, now: SimTime) {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_mut()) else {
+            return;
+        };
+        state.on_base_install(dag, update.object, update.payload, now);
+        self.metrics.observe_dag_pending(state.pending_len());
+        let stale = state.stale_count();
+        if let Some(ds) = self.derived_stale.as_mut() {
+            ds.observe(now, stale);
+        }
+    }
+
+    /// A background delta-application slice completed: recompute the node,
+    /// cascade on change, account the outcome.
+    fn dag_apply(&mut self, node: u32, now: SimTime) {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_mut()) else {
+            return;
+        };
+        if let Some(r) = state.apply(dag, &self.store, node, now) {
+            self.metrics.dag_delta_applied(now, r.lag);
+        }
+        self.metrics.observe_dag_pending(state.pending_len());
+        let stale = state.stale_count();
+        if let Some(ds) = self.derived_stale.as_mut() {
+            ds.observe(now, stale);
+        }
+    }
+
+    /// CPU seconds a recursive on-demand refresh of `node` costs: one
+    /// recompute per stale ancestor, at `edge_cost_instr` per input edge.
+    fn dag_refresh_work(&self, node: u32) -> f64 {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_ref()) else {
+            return 0.0;
+        };
+        let per_edge = self.cfg.dag.map_or(0.0, |s| s.edge_cost_instr);
+        let instr: f64 = state
+            .stale_closure(dag, node)
+            .iter()
+            .map(|&n| per_edge * dag.inputs(n).len() as f64)
+            .sum();
+        self.costs.secs(instr)
+    }
+
+    /// Applies the stale ancestor closure of `node` in topological order —
+    /// the recursive on-demand refresh performed before a derived read is
+    /// answered. Cascades that leave the ancestor cone stay pending for
+    /// background propagation.
+    fn perform_dag_refresh(&mut self, node: u32, now: SimTime) {
+        let (Some(dag), Some(state)) = (self.dag.as_ref(), self.dag_state.as_mut()) else {
+            return;
+        };
+        self.metrics.dag_od_refresh(now);
+        for n in state.stale_closure(dag, node) {
+            if let Some(r) = state.apply(dag, &self.store, n, now) {
+                self.metrics.dag_delta_applied(now, r.lag);
+            }
+        }
+        self.metrics.observe_dag_pending(state.pending_len());
+        let stale = state.stale_count();
+        if let Some(ds) = self.derived_stale.as_mut() {
+            ds.observe(now, stale);
+        }
+    }
+
+    /// A transaction's derived-node read finished its lookup: under OD a
+    /// stale node is recursively refreshed along the DAG before the read
+    /// is answered (the same shared-policy decision the controller makes).
+    fn handle_derived_read(&mut self, node: u32, now: SimTime) {
+        let node_stale = self.dag_state.as_ref().is_some_and(|s| s.is_stale(node));
+        if policy::dag_refresh(self.policy, node_stale) {
+            let work = self.dag_refresh_work(node);
+            if work > 0.0 {
+                let rt = self.running.as_mut().expect("running txn at derived read"); // lint: allow(live-panic, reason=called only from the running-txn read path)
+                rt.slice = Slice::DagRefresh {
+                    node,
+                    remaining: work,
+                };
+                // The burn happens on the next `run_txn` loop iteration.
+                return;
+            }
+            self.perform_dag_refresh(node, now);
+        }
+        self.finalize_derived_read(node, now);
+    }
+
+    /// Concludes a derived-node read: record (transitive) staleness and
+    /// continue. Derived staleness is advisory — reported, never aborted
+    /// on.
+    fn finalize_derived_read(&mut self, node: u32, now: SimTime) {
+        let stale = self.dag_state.as_ref().is_some_and(|s| s.is_stale(node));
+        let arrival = self
+            .running
+            .as_ref()
+            .expect("running txn at derived-read finalisation") // lint: allow(live-panic, reason=called only from the running-txn read path)
+            .txn
+            .spec()
+            .arrival;
+        self.metrics.derived_read(arrival, stale);
+        self.continue_txn(now);
+    }
+
+    /// Answers a derived-view query. Monitoring-plane like
+    /// [`Executor::answer_query`] (no modelled CPU is charged), but the
+    /// refresh decision goes through the shared policy module, so under OD
+    /// the answer reflects a freshly recomputed ancestor cone — decision
+    /// parity with the simulator's derived reads.
+    fn answer_derived_query(&mut self, node: u32, now: SimTime) -> WireDerivedQueryResponse {
+        let in_range = self.dag.as_ref().is_some_and(|d| (node as usize) < d.len());
+        if !in_range {
+            return WireDerivedQueryResponse {
+                value: f64::NAN,
+                stale: DERIVED_NO_SUCH_NODE,
+                refreshed: 0,
+            };
+        }
+        let node_stale = self.dag_state.as_ref().is_some_and(|s| s.is_stale(node));
+        let refreshed = policy::dag_refresh(self.policy, node_stale);
+        if refreshed {
+            self.perform_dag_refresh(node, now);
+        }
+        let stale = self.dag_state.as_ref().is_some_and(|s| s.is_stale(node));
+        self.metrics.derived_read(now, stale);
+        WireDerivedQueryResponse {
+            value: self.dag_state.as_ref().map_or(f64::NAN, |s| s.value(node)),
+            stale: u8::from(stale),
+            refreshed: u8::from(refreshed),
         }
     }
 
@@ -1013,6 +1223,7 @@ impl Executor {
                 Slice::Segment => (rt.txn.segment_remaining(), Slice::Segment),
                 s @ Slice::StaleScan { remaining, .. } => (remaining, s),
                 s @ Slice::OdApply { remaining, .. } => (remaining, s),
+                s @ Slice::DagRefresh { remaining, .. } => (remaining, s),
             };
             let deadline = rt.txn.deadline();
             let (outcome, performed) = self.burn_txn_slice(duration, deadline);
@@ -1039,6 +1250,12 @@ impl Executor {
                         Slice::OdApply { obj, .. } => {
                             rt.slice = Slice::OdApply {
                                 obj,
+                                remaining: (duration - performed).max(0.0),
+                            };
+                        }
+                        Slice::DagRefresh { node, .. } => {
+                            rt.slice = Slice::DagRefresh {
+                                node,
                                 remaining: (duration - performed).max(0.0),
                             };
                         }
@@ -1110,6 +1327,7 @@ impl Executor {
                         self.read_counts[obj.class.index()][obj.index as usize] += 1;
                         self.handle_view_read(obj, now);
                     }
+                    Segment::ReadDerived(node) => self.handle_derived_read(node, now),
                 }
             }
             Slice::StaleScan { obj, .. } => self.handle_post_scan(obj, now),
@@ -1127,6 +1345,15 @@ impl Executor {
                     self.metrics.update_superseded(now);
                 }
                 self.finalize_read(obj, now);
+            }
+            Slice::DagRefresh { node, .. } => {
+                let rt = self
+                    .running
+                    .as_mut()
+                    .expect("running txn at DAG refresh completion"); // lint: allow(live-panic, reason=burn outcomes are only produced while a txn runs)
+                rt.slice = Slice::Segment;
+                self.perform_dag_refresh(node, now);
+                self.finalize_derived_read(node, now);
             }
         }
     }
@@ -1261,6 +1488,14 @@ impl Executor {
             // on the clone so folds are well-defined (and zero-width).
             m.snapshot_warmup(&self.tracker, now);
         }
+        if let Some(state) = self.dag_state.as_ref() {
+            let fold = self.derived_stale.as_ref().map_or(0.0, |ds| {
+                let mut ds = ds.clone();
+                ds.observe(now, state.stale_count());
+                ds.fold(now)
+            });
+            m.dag_totals(state.stats, state.pending_len() as u64, fold);
+        }
         let mut report = m.finalize(
             self.policy.label(),
             self.cfg.seed,
@@ -1328,6 +1563,14 @@ impl Executor {
             self.warmup_taken = true;
         }
         let durability = self.durability_stats();
+        if let Some(state) = self.dag_state.as_ref() {
+            let fold = self.derived_stale.as_mut().map_or(0.0, |ds| {
+                ds.observe(end, state.stale_count());
+                ds.fold(end)
+            });
+            self.metrics
+                .dag_totals(state.stats, state.pending_len() as u64, fold);
+        }
         let mut report = self.metrics.finalize(
             self.policy.label(),
             self.cfg.seed,
@@ -1490,5 +1733,132 @@ mod tests {
         tx.send(Ingest::Shutdown).expect("send shutdown");
         let report = handle.join().expect("executor thread");
         assert_eq!(report.updates.installed_total(), 1);
+    }
+
+    fn dag_cfg(policy: Policy) -> SimConfig {
+        SimConfig::builder()
+            .policy(policy)
+            .n_low(4)
+            .n_high(4)
+            .lambda_u(0.0)
+            .lambda_t(0.0)
+            .duration(1.0)
+            .warmup(0.0)
+            .dag(Some(strip_core::config::DagSpec {
+                depth: 2,
+                width: 3,
+                fanout: 2,
+                ..strip_core::config::DagSpec::default()
+            }))
+            .build()
+            .expect("valid dag config")
+    }
+
+    /// Waits (bounded) until object (0, 1) reports the given generation —
+    /// i.e. the executor's idle loop has installed the update carrying it.
+    fn wait_for_install(tx: &mpsc::Sender<Ingest>, gen_micros: i64) {
+        let mut tries = 0;
+        loop {
+            let (qtx, qrx) = mpsc::sync_channel(1);
+            tx.send(Ingest::Query {
+                q: WireQuery { class: 0, index: 1 },
+                reply: qtx,
+            })
+            .expect("send query");
+            let r = qrx.recv().expect("query answered");
+            tries += 1;
+            if r.generation_micros == gen_micros || tries > 5_000 {
+                assert_eq!(r.generation_micros, gen_micros, "install never landed");
+                return;
+            }
+            LiveClock::coarse_sleep(0.001);
+        }
+    }
+
+    #[test]
+    fn derived_query_is_served_and_od_refreshes_before_answering() {
+        let cfg = LiveConfig::new(dag_cfg(Policy::OnDemand)).expect("valid live config");
+        let (tx, rx) = mpsc::channel();
+        let exec = Executor::new(&cfg, rx);
+        let handle = std::thread::spawn(move || exec.run());
+        for i in 0..8u32 {
+            tx.send(Ingest::Update(wire_update(
+                u8::from(i % 2 == 0),
+                i % 4,
+                1_000 * i64::from(i + 1),
+                f64::from(i) + 0.5,
+            )))
+            .expect("send update");
+        }
+        // Updates install in idle time under every algorithm; wait until
+        // the last (0, 1) update has landed so deltas exist to propagate.
+        wait_for_install(&tx, 6_000);
+        // An answered derived query under OD is never stale: the refresh
+        // runs before the reply, whatever the background drain has done.
+        for node in 0..6u32 {
+            let (qtx, qrx) = mpsc::sync_channel(1);
+            tx.send(Ingest::DerivedQuery {
+                q: WireDerivedQuery { node },
+                reply: qtx,
+            })
+            .expect("send derived query");
+            let resp = qrx.recv().expect("derived query answered");
+            assert_eq!(resp.stale, 0, "node {node} answered stale under OD");
+            assert!(resp.value.is_finite());
+        }
+        // Out-of-range node.
+        let (qtx, qrx) = mpsc::sync_channel(1);
+        tx.send(Ingest::DerivedQuery {
+            q: WireDerivedQuery { node: 99 },
+            reply: qtx,
+        })
+        .expect("send derived query");
+        assert_eq!(qrx.recv().expect("reply").stale, DERIVED_NO_SUCH_NODE);
+        tx.send(Ingest::Shutdown).expect("send shutdown");
+        let report = handle.join().expect("executor thread");
+        assert_eq!(report.dag.enqueued, report.dag.terminal_total());
+        assert!(report.dag.enqueued > 0, "installs must enqueue deltas");
+    }
+
+    #[test]
+    fn dag_deltas_are_conserved_through_mid_stream_shutdown() {
+        let cfg = LiveConfig::new(dag_cfg(Policy::TransactionsFirst)).expect("valid live config");
+        let (tx, rx) = mpsc::channel();
+        let exec = Executor::new(&cfg, rx);
+        let handle = std::thread::spawn(move || exec.run());
+        // First wave installs in idle time and seeds the DAG with deltas.
+        for i in 0..8u32 {
+            tx.send(Ingest::Update(wire_update(
+                u8::from(i % 2 == 0),
+                i % 4,
+                1_000 * i64::from(i + 1),
+                f64::from(i),
+            )))
+            .expect("send update");
+        }
+        wait_for_install(&tx, 6_000);
+        // Second wave arrives on a ring with the shutdown already queued
+        // behind the attach: those updates drain to the OS queue
+        // uninstalled, and the background propagation is cut off
+        // mid-stream. Every enqueued delta must still land in exactly one
+        // terminal bucket (applied, coalesced, shed, or pending at end).
+        let (mut prod, cons) = crate::spsc::ring(64);
+        for i in 0..10u32 {
+            prod.push(wire_update(
+                u8::from(i % 2 == 0),
+                i % 4,
+                100_000 * i64::from(i + 1),
+                f64::from(i),
+            ))
+            .expect("ring has room");
+        }
+        drop(prod);
+        tx.send(Ingest::Stream(cons)).expect("attach stream");
+        tx.send(Ingest::Shutdown).expect("send shutdown");
+        let report = handle.join().expect("executor thread");
+        assert_eq!(report.updates.terminal_total(), report.updates.arrived);
+        assert_eq!(report.dag.enqueued, report.dag.terminal_total());
+        assert!(report.dag.enqueued > 0, "installs must enqueue deltas");
+        assert_eq!(report.dag.od_refreshes, 0, "TF never refreshes on demand");
     }
 }

@@ -458,6 +458,7 @@ mod tests {
             slack: 0.125,
             compute_time: 0.050,
             reads: vec![ViewObjectId::new(Importance::Low, 3)],
+            derived_reads: vec![],
         };
         let wt = wire_txn(&t);
         assert_eq!(wt.id, 42);

@@ -9,9 +9,9 @@
 //!
 //! Client → server: [`Msg::Update`], [`Msg::Txn`], [`Msg::Query`],
 //! [`Msg::StatsRequest`], [`Msg::ReportRequest`], [`Msg::Shutdown`],
-//! [`Msg::UpdateBatch`], [`Msg::CreditRequest`].
+//! [`Msg::UpdateBatch`], [`Msg::CreditRequest`], [`Msg::DerivedQuery`].
 //! Server → client: [`Msg::QueryResponse`], [`Msg::StatsResponse`],
-//! [`Msg::ReportJson`], [`Msg::Credit`].
+//! [`Msg::ReportJson`], [`Msg::Credit`], [`Msg::DerivedQueryResponse`].
 //!
 //! The batched ingest path (DESIGN.md §13) amortises the per-frame
 //! syscall and length-prefix overhead: an [`Msg::UpdateBatch`] carries up
@@ -111,6 +111,27 @@ pub struct WireQueryResponse {
     pub uu_stale: u8,
 }
 
+/// A read of one derived-view DAG node's current value and freshness
+/// (derived-view extension; answered with [`Msg::DerivedQueryResponse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDerivedQuery {
+    /// DAG node id (ids are assigned in topological order).
+    pub node: u32,
+}
+
+/// Answer to a [`WireDerivedQuery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireDerivedQueryResponse {
+    /// Current derived value (after any on-demand refresh).
+    pub value: f64,
+    /// 1 when the node is (transitively) stale at answer time; 2 when the
+    /// server has no DAG configured or the node id is out of range.
+    pub stale: u8,
+    /// 1 when the read triggered a recursive on-demand refresh (OD policy
+    /// on a stale node).
+    pub refreshed: u8,
+}
+
 /// Aggregate counters answered to a [`Msg::StatsRequest`]. The update
 /// counters satisfy `ingested = applied + superseded + shed + queued`
 /// (conservation; checked by the `live-smoke` CI job).
@@ -170,6 +191,8 @@ pub enum Msg {
     /// window up as its ingest ring drains; after opting in the client
     /// must not have more un-granted updates in flight than its credit.
     CreditRequest,
+    /// Client → server: read one derived-view DAG node (tag 9).
+    DerivedQuery(WireDerivedQuery),
     /// Server → client: answer to a query (tag 33).
     QueryResponse(WireQueryResponse),
     /// Server → client: aggregate counters (tag 34).
@@ -179,6 +202,8 @@ pub enum Msg {
     /// Server → client: grants the client permission to send this many
     /// further updates (tag 36). Grants are cumulative.
     Credit(u64),
+    /// Server → client: answer to a derived-view query (tag 37).
+    DerivedQueryResponse(WireDerivedQueryResponse),
 }
 
 /// A malformed frame.
@@ -260,10 +285,12 @@ impl Msg {
             Msg::Shutdown => 6,
             Msg::UpdateBatch(_) => 7,
             Msg::CreditRequest => 8,
+            Msg::DerivedQuery(_) => 9,
             Msg::QueryResponse(_) => 33,
             Msg::StatsResponse(_) => 34,
             Msg::ReportJson(_) => 35,
             Msg::Credit(_) => 36,
+            Msg::DerivedQueryResponse(_) => 37,
         }
     }
 
@@ -299,6 +326,12 @@ impl Msg {
                 }
             }
             Msg::Credit(n) => put_u64(&mut out, *n),
+            Msg::DerivedQuery(q) => put_u32(&mut out, q.node),
+            Msg::DerivedQueryResponse(r) => {
+                put_f64(&mut out, r.value);
+                out.push(r.stale);
+                out.push(r.refreshed);
+            }
             Msg::QueryResponse(r) => {
                 put_f64(&mut out, r.payload);
                 put_i64(&mut out, r.generation_micros);
@@ -484,6 +517,10 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
             c.finish(Msg::UpdateBatch(updates))
         }
         8 => c.finish(Msg::CreditRequest),
+        9 => {
+            let msg = Msg::DerivedQuery(WireDerivedQuery { node: c.u32()? });
+            c.finish(msg)
+        }
         33 => {
             let msg = Msg::QueryResponse(WireQueryResponse {
                 payload: c.f64()?,
@@ -522,6 +559,14 @@ pub fn decode_body(body: &[u8]) -> Result<Msg, ProtoError> {
         36 => {
             let n = c.u64()?;
             c.finish(Msg::Credit(n))
+        }
+        37 => {
+            let msg = Msg::DerivedQueryResponse(WireDerivedQueryResponse {
+                value: c.f64()?,
+                stale: c.u8()?,
+                refreshed: c.u8()?,
+            });
+            c.finish(msg)
         }
         t => Err(ProtoError::BadTag(t)),
     }
@@ -810,6 +855,12 @@ mod tests {
                 attr_mask: u64::MAX,
             }),
             Msg::Query(WireQuery { class: 0, index: 7 }),
+            Msg::DerivedQuery(WireDerivedQuery { node: 17 }),
+            Msg::DerivedQueryResponse(WireDerivedQueryResponse {
+                value: 2.75,
+                stale: 1,
+                refreshed: 1,
+            }),
             Msg::StatsRequest,
             Msg::ReportRequest,
             Msg::Shutdown,

@@ -650,6 +650,27 @@ fn handle_conn(mut stream: TcpStream, router: &Router, stop: &Arc<AtomicBool>) -
                     .map_err(|_| io::Error::other("executor dropped query"))?;
                 write_msg(&mut stream, &Msg::QueryResponse(resp))?;
             }
+            Msg::DerivedQuery(q) => {
+                if let Some(state) = &batch {
+                    state.flush(stop);
+                }
+                // Every stripe drives a full DAG replica over its own slice
+                // of the update stream; a derived query interrogates one
+                // deterministic replica (single-stripe runs see the whole
+                // stream, so the answer is exact there).
+                let s = q.node as usize % router.txs.len();
+                let (qtx, qrx) = mpsc::sync_channel(1);
+                if router.txs[s]
+                    .send(Ingest::DerivedQuery { q, reply: qtx })
+                    .is_err()
+                {
+                    return Ok(());
+                }
+                let resp = qrx
+                    .recv()
+                    .map_err(|_| io::Error::other("executor dropped derived query"))?;
+                write_msg(&mut stream, &Msg::DerivedQueryResponse(resp))?;
+            }
             Msg::StatsRequest => {
                 if let Some(state) = &batch {
                     state.flush(stop);
@@ -675,7 +696,11 @@ fn handle_conn(mut stream: TcpStream, router: &Router, stop: &Arc<AtomicBool>) -
                 stop.store(true, Ordering::Release);
                 return Ok(());
             }
-            Msg::QueryResponse(_) | Msg::StatsResponse(_) | Msg::ReportJson(_) | Msg::Credit(_) => {
+            Msg::QueryResponse(_)
+            | Msg::StatsResponse(_)
+            | Msg::ReportJson(_)
+            | Msg::Credit(_)
+            | Msg::DerivedQueryResponse(_) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "server-to-client message received by server",
@@ -863,6 +888,42 @@ pub fn render_metrics(r: &RunReport) -> String {
         "strip_live_recovery_discarded_total",
         "Torn or corrupt WAL tail records rejected by recovery.",
         d.recovery_discarded,
+    );
+    let g = &r.dag;
+    page.counter(
+        "strip_live_dag_deltas_enqueued_total",
+        "Derived-view deltas enqueued by base installs and cascades.",
+        g.enqueued,
+    );
+    page.counter(
+        "strip_live_dag_deltas_applied_total",
+        "Derived-view pending deltas applied.",
+        g.applied,
+    );
+    page.counter(
+        "strip_live_dag_deltas_coalesced_total",
+        "Derived-view deltas merged into an already-pending node.",
+        g.coalesced,
+    );
+    page.counter(
+        "strip_live_dag_deltas_shed_total",
+        "Derived-view deltas rejected by the pending bound.",
+        g.shed,
+    );
+    page.gauge(
+        "strip_live_dag_deltas_pending",
+        "Derived-view nodes with a pending delta.",
+        g.pending_at_end as f64,
+    );
+    page.counter(
+        "strip_live_dag_od_refreshes_total",
+        "Recursive on-demand derived refreshes (OD only).",
+        g.od_refreshes,
+    );
+    page.gauge(
+        "strip_live_dag_fold_derived",
+        "Time-weighted stale fraction of derived views.",
+        g.fold_derived,
     );
     if !r.stripes.is_empty() {
         page.gauge(

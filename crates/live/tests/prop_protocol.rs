@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use strip_live::protocol::{
-    read_msg, write_msg, Msg, WireQuery, WireQueryResponse, WireStats, WireTxn, WireUpdate,
-    MAX_BATCH_UPDATES, MAX_TXN_READS,
+    read_msg, write_msg, Msg, WireDerivedQuery, WireDerivedQueryResponse, WireQuery,
+    WireQueryResponse, WireStats, WireTxn, WireUpdate, MAX_BATCH_UPDATES, MAX_TXN_READS,
 };
 
 /// Encodes `msg` into a buffer and decodes it back out.
@@ -123,6 +123,14 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
         2 => stats_strategy().prop_map(Msg::StatsResponse),
         1 => prop::collection::vec(32u8..127, 0..200).prop_map(|bytes| {
             Msg::ReportJson(String::from_utf8(bytes).expect("printable ascii"))
+        }),
+        2 => (0u32..u32::MAX).prop_map(|node| Msg::DerivedQuery(WireDerivedQuery { node })),
+        2 => (-1e12f64..1e12, 0u8..3, 0u8..2).prop_map(|(value, stale, refreshed)| {
+            Msg::DerivedQueryResponse(WireDerivedQueryResponse {
+                value,
+                stale,
+                refreshed,
+            })
         }),
     ]
 }

@@ -63,6 +63,13 @@ pub enum TraceJob {
     QueueTransfer,
     /// Executing one fired rule (triggers extension).
     RuleExec,
+    /// Applying one pending derived-view delta in the background
+    /// (derived-view DAG extension).
+    DagApply,
+    /// A recursive on-demand refresh of a derived node's stale ancestor
+    /// cone, performed inside a transaction slice (derived-view DAG
+    /// extension).
+    DagRefresh,
 }
 
 impl TraceJob {
@@ -77,6 +84,8 @@ impl TraceJob {
             TraceJob::Install => "install",
             TraceJob::QueueTransfer => "queue_transfer",
             TraceJob::RuleExec => "rule_exec",
+            TraceJob::DagApply => "dag_apply",
+            TraceJob::DagRefresh => "dag_refresh",
         }
     }
 }

@@ -21,6 +21,8 @@
 //!   version chains with age/cap retention and as-of queries.
 //! * [`triggers`] — update-triggered rules maintaining derived general data
 //!   (paper §7 extension).
+//! * [`dag`] — derived-view DAGs maintained by incremental delta
+//!   propagation with transitive staleness (ROADMAP item 3).
 //! * [`cost`] — the instruction-count CPU cost model of Table 3.
 //!
 //! The scheduler itself (the paper's contribution) lives in `strip-core`.
@@ -29,6 +31,7 @@
 #![warn(clippy::all)]
 
 pub mod cost;
+pub mod dag;
 pub mod history;
 pub mod object;
 pub mod osqueue;
@@ -40,6 +43,7 @@ pub mod update;
 pub mod update_queue;
 
 pub use cost::CostModel;
+pub use dag::{DagSpec, DagState, ViewDag};
 pub use history::{HistoryPolicy, HistoryStore, Version};
 pub use object::{Importance, ViewObject, ViewObjectId};
 pub use osqueue::{Delivery, OsQueue};

@@ -353,6 +353,56 @@ impl StalenessTracker {
     }
 }
 
+/// Exact time-weighted *transitive* staleness accounting over a
+/// derived-view DAG (`fold_derived`).
+///
+/// The behavioural definition lives in [`crate::dag::DagState`]: a node is
+/// stale iff it has an unapplied delta or any derived input is stale. This
+/// observer only integrates that count over time; the controller calls
+/// [`DerivedStaleness::observe`] after every propagation event, and the
+/// fold is the time-weighted average fraction of stale nodes — the DAG
+/// twin of the paper's `fold_l`/`fold_h`.
+#[derive(Debug, Clone)]
+pub struct DerivedStaleness {
+    count: TimeWeighted,
+    last: f64,
+    n: usize,
+    start: SimTime,
+}
+
+impl DerivedStaleness {
+    /// Tracker over `n_nodes` derived nodes, all initially fresh,
+    /// accumulating from `start`.
+    #[must_use]
+    pub fn new(n_nodes: usize, start: SimTime) -> Self {
+        DerivedStaleness {
+            count: TimeWeighted::new(start, 0.0),
+            last: 0.0,
+            n: n_nodes,
+            start,
+        }
+    }
+
+    /// Records that `stale` nodes are stale as of `now`.
+    pub fn observe(&mut self, now: SimTime, stale: u32) {
+        let v = f64::from(stale);
+        if (v - self.last).abs() > 0.0 {
+            self.count.add(now, v - self.last);
+            self.last = v;
+        }
+    }
+
+    /// Time-weighted average fraction of stale derived nodes over
+    /// `[start, end]`; 0 for an empty DAG.
+    #[must_use]
+    pub fn fold(&self, end: SimTime) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.count.mean_over(self.start, end) / self.n as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +517,20 @@ mod tests {
         let id = ViewObjectId::new(Importance::Low, 0);
         ma.on_receive(id, t(100.0), t(0.5));
         assert!(!ma.is_stale(id), "MA ignores receive events");
+    }
+
+    #[test]
+    fn derived_staleness_integrates_fraction_over_time() {
+        let mut d = DerivedStaleness::new(4, t(0.0));
+        assert_eq!(d.fold(t(10.0)), 0.0);
+        d.observe(t(2.0), 2); // half the DAG stale over [2, 6]
+        d.observe(t(6.0), 0);
+        // integral = 2 nodes * 4 s = 8 node-seconds over 10 s * 4 nodes.
+        assert!((d.fold(t(10.0)) - 0.2).abs() < 1e-12);
+        // Redundant observations are no-ops.
+        d.observe(t(7.0), 0);
+        assert!((d.fold(t(10.0)) - 0.2).abs() < 1e-12);
+        assert_eq!(DerivedStaleness::new(0, t(0.0)).fold(t(5.0)), 0.0);
     }
 
     #[test]

@@ -95,6 +95,28 @@ impl RuleSet {
         self.rules.is_empty()
     }
 
+    /// Instructions one execution costs given the number of *distinct
+    /// changed sources* accumulated while the rule sat in the queue.
+    ///
+    /// Historically every execution charged the whole-refresh
+    /// `exec_instr` even when coalescing had merged several firings of
+    /// the same (or no) source — a queued rule whose delta set was one
+    /// object out of four still paid for rereading all four. The charge
+    /// now scales with the coalesced delta set: `exec_instr ·
+    /// changed/|sources|`, clamped to the full refresh, and an empty
+    /// delta set charges nothing. The regression test
+    /// `coalesced_execution_charges_delta_scaled_instructions` pins the
+    /// old flat charge against the new scaled one.
+    #[must_use]
+    pub fn exec_cost(&self, id: u32, changed_sources: usize) -> f64 {
+        let rule = &self.rules[id as usize];
+        if rule.sources.is_empty() {
+            return 0.0;
+        }
+        let changed = changed_sources.min(rule.sources.len());
+        rule.exec_instr * changed as f64 / rule.sources.len() as f64
+    }
+
     /// Executes a rule against the store: recompute the derived general
     /// object as the mean of its sources' current payloads. Returns the new
     /// derived value.
@@ -204,6 +226,36 @@ mod tests {
         let derived = rs.execute(0, &mut store);
         assert_eq!(derived, 20.0);
         assert_eq!(store.read_general(1), 20.0);
+    }
+
+    #[test]
+    fn coalesced_execution_charges_delta_scaled_instructions() {
+        let rs = RuleSet::new(vec![Rule {
+            id: 0,
+            sources: vec![obj(0), obj(1), obj(2), obj(3)],
+            derived_general: 0,
+            exec_instr: 10_000.0,
+        }]);
+        // Pre-fix, every execution charged the whole refresh regardless of
+        // how small the coalesced delta set was.
+        let old_flat_charge = rs.rule(0).exec_instr;
+        assert_eq!(old_flat_charge, 10_000.0);
+        // Post-fix: the charge scales with the distinct changed sources.
+        assert_eq!(rs.exec_cost(0, 0), 0.0, "empty delta set is free");
+        assert_eq!(rs.exec_cost(0, 1), 2_500.0);
+        assert_eq!(rs.exec_cost(0, 2), 5_000.0);
+        assert!(rs.exec_cost(0, 1) < old_flat_charge);
+        // A full (or over-reported) delta set still pays the old charge.
+        assert_eq!(rs.exec_cost(0, 4), old_flat_charge);
+        assert_eq!(rs.exec_cost(0, 99), old_flat_charge);
+        // Degenerate rule: no sources, no charge.
+        let empty = RuleSet::new(vec![Rule {
+            id: 0,
+            sources: vec![],
+            derived_general: 0,
+            exec_instr: 10_000.0,
+        }]);
+        assert_eq!(empty.exec_cost(0, 3), 0.0);
     }
 
     #[test]

@@ -166,6 +166,43 @@ impl Distribution for ClampedNormal {
     }
 }
 
+/// Poisson-distributed non-negative counts with the given mean, sampled
+/// with Knuth's product-of-uniforms method — O(mean) uniforms per draw, so
+/// intended for small means such as per-transaction derived-read counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    /// `exp(-mean)`; 1.0 for a zero mean, which always draws 0.
+    limit: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    #[must_use]
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean >= 0.0, "mean must be >= 0");
+        Poisson {
+            limit: (-mean).exp(),
+        }
+    }
+
+    /// Draws one count.
+    pub fn sample_count(&self, rng: &mut Xoshiro256pp) -> u64 {
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.next_f64();
+            if p <= self.limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
 /// Zipf distribution over ranks `0..n` (rank 0 most popular):
 /// `P(k) ∝ 1 / (k + 1)^s`. The classic skewed-access model for database
 /// workloads. `s = 0` degenerates to the discrete uniform.
@@ -373,6 +410,40 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zipf_rejects_empty() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn poisson_counts_match_mean_and_variance() {
+        let p = Poisson::new(2.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let n = 100_000;
+        for i in 0..n {
+            let x = p.sample_count(&mut rng) as f64;
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+        }
+        let var = m2 / (n - 1) as f64;
+        // Poisson(2): mean = variance = 2.
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 2.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_always_draws_zero() {
+        let p = Poisson::new(0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(24);
+        for _ in 0..100 {
+            assert_eq!(p.sample_count(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be >= 0")]
+    fn poisson_rejects_negative_mean() {
+        let _ = Poisson::new(-1.0);
     }
 
     #[test]

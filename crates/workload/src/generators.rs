@@ -17,7 +17,7 @@ use strip_core::config::SimConfig;
 use strip_core::sources::{TxnSource, UpdateSource, UpdateSpec};
 use strip_core::txn::TxnSpec;
 use strip_db::object::{Importance, ViewObjectId};
-use strip_sim::dist::{ClampedNormal, Distribution, Exponential, Uniform, Zipf};
+use strip_sim::dist::{ClampedNormal, Distribution, Exponential, Poisson, Uniform, Zipf};
 use strip_sim::rng::Xoshiro256pp;
 use strip_sim::time::SimTime;
 
@@ -33,6 +33,9 @@ pub(crate) mod stream {
     /// Fault-injection layer (`crate::disturbance`) — disjoint from the
     /// generator labels so disturbances never perturb workload draws.
     pub const DISTURBANCE: u64 = 8;
+    /// Derived-view reads (DAG extension); its own sub-stream so enabling
+    /// the DAG never perturbs the base read/shape/arrival draws.
+    pub const TXN_DERIVED_READS: u64 = 9;
 }
 
 /// Poisson update stream per Table 1.
@@ -130,10 +133,14 @@ pub struct PoissonTxns {
     n_high: u32,
     /// Zipf read-access skew per class (extension; None = uniform).
     skew: Option<[Zipf; 2]>,
+    /// Derived-view read draws (DAG extension; None = no DAG configured):
+    /// per-transaction Poisson count over a uniform node choice.
+    derived: Option<(Poisson, u64)>,
     next_id: u64,
     arrival_rng: Xoshiro256pp,
     shape_rng: Xoshiro256pp,
     reads_rng: Xoshiro256pp,
+    derived_rng: Xoshiro256pp,
 }
 
 impl PoissonTxns {
@@ -162,10 +169,17 @@ impl PoissonTxns {
                     Zipf::new(u64::from(cfg.n_high.max(1)), cfg.read_skew),
                 ]
             }),
+            derived: cfg.dag.map(|d| {
+                (
+                    Poisson::new(d.derived_reads_mean),
+                    u64::from(d.depth.max(1)) * u64::from(d.width.max(1)),
+                )
+            }),
             next_id: 0,
             arrival_rng: root.substream(stream::TXN_ARRIVAL),
             shape_rng: root.substream(stream::TXN_SHAPE),
             reads_rng: root.substream(stream::TXN_READS),
+            derived_rng: root.substream(stream::TXN_DERIVED_READS),
         }
     }
 }
@@ -252,6 +266,15 @@ impl TxnSource for PoissonTxns {
                 ViewObjectId::new(class, index)
             })
             .collect();
+        let derived_reads = match &self.derived {
+            Some((count_dist, nodes)) => {
+                let count = count_dist.sample_count(&mut self.derived_rng);
+                (0..count)
+                    .map(|_| self.derived_rng.next_below(*nodes) as u32)
+                    .collect()
+            }
+            None => Vec::new(),
+        };
         let id = self.next_id;
         self.next_id += 1;
         Some(TxnSpec {
@@ -262,6 +285,7 @@ impl TxnSource for PoissonTxns {
             slack,
             compute_time,
             reads,
+            derived_reads,
         })
     }
 }
@@ -563,6 +587,32 @@ mod tests {
             "high {}",
             high_vals.mean()
         );
+    }
+
+    #[test]
+    fn dag_config_adds_derived_reads_without_perturbing_base_draws() {
+        let base = cfg();
+        let mut dagged = cfg();
+        dagged.dag = Some(strip_core::config::DagSpec::default());
+        let spec = dagged.dag.unwrap();
+        let nodes = u64::from(spec.depth) * u64::from(spec.width);
+        let mut a = PoissonTxns::from_config(&base);
+        let mut b = PoissonTxns::from_config(&dagged);
+        let mut saw_derived = false;
+        for _ in 0..500 {
+            let (x, y) = (a.next_txn().unwrap(), b.next_txn().unwrap());
+            // The derived sub-stream is independent: every base draw is
+            // bit-identical with and without the DAG.
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.reads, y.reads);
+            assert_eq!(x.compute_time, y.compute_time);
+            assert!(x.derived_reads.is_empty());
+            saw_derived |= !y.derived_reads.is_empty();
+            for &node in &y.derived_reads {
+                assert!(u64::from(node) < nodes, "node {node} out of range");
+            }
+        }
+        assert!(saw_derived, "mean 2.0 should produce derived reads");
     }
 
     fn periodic_cfg(jitter: f64) -> SimConfig {

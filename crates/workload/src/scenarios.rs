@@ -5,7 +5,7 @@
 //! configuration so the examples and downstream users start from sensible,
 //! documented parameter sets rather than raw numbers.
 
-use strip_core::config::{Policy, QueuePolicy, SimConfig};
+use strip_core::config::{DagSpec, Policy, QueuePolicy, SimConfig};
 use strip_db::staleness::StalenessSpec;
 
 /// Program trading (the paper's primary motivation, §1): a large universe
@@ -96,6 +96,39 @@ pub fn telecom(policy: Policy, seed: u64) -> SimConfig {
         .expect("telecom preset is valid")
 }
 
+/// Derived analytics (extension; STRIP's derived-view discussion, §6): the
+/// program-trading feed augmented with a DAG of derived views — sector
+/// indices over instruments, composites over indices. Base installs enqueue
+/// typed deltas; transactions read derived nodes and, under OD, pay for a
+/// recursive refresh of the stale ancestor cone at read time.
+#[must_use]
+pub fn derived_analytics(policy: Policy, seed: u64, spec: DagSpec) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .seed(seed)
+        // A calmer feed than raw program trading: derived maintenance adds
+        // background work, and the interesting regime is where delta
+        // propagation competes with transactions, not where it drowns.
+        .lambda_u(250.0)
+        .p_update_low(0.6)
+        .mean_update_age(0.05)
+        .n_low(700)
+        .n_high(300)
+        .lambda_t(8.0)
+        .p_txn_low(0.5)
+        .slack_min(0.1)
+        .slack_max(1.0)
+        .values(1.0, 0.5, 3.0, 1.0)
+        .reads_mean(2.0)
+        .reads_sd(1.0)
+        .max_age(5.0)
+        .compute_mean(0.08)
+        .compute_sd(0.01)
+        .dag(Some(spec))
+        .build()
+        .expect("derived analytics preset is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,7 +139,21 @@ mod tests {
             assert!(program_trading(policy, 1).validate().is_ok());
             assert!(plant_control(policy, 1).validate().is_ok());
             assert!(telecom(policy, 1).validate().is_ok());
+            assert!(derived_analytics(policy, 1, DagSpec::default())
+                .validate()
+                .is_ok());
         }
+    }
+
+    #[test]
+    fn derived_preset_carries_the_dag_spec() {
+        let spec = DagSpec {
+            depth: 4,
+            width: 8,
+            ..DagSpec::default()
+        };
+        let cfg = derived_analytics(Policy::OnDemand, 7, spec);
+        assert_eq!(cfg.dag, Some(spec));
     }
 
     #[test]
